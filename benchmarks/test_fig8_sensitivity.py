@@ -1,0 +1,32 @@
+"""Figure 8 - parameter sensitivity: lambda0 and the threshold lt.
+
+The paper sweeps lambda in {0.1, 1, 5, 10} (best ~5: meta-knowledge
+matters, but excessive guidance confuses the student) and lt in
+{0 .. 0.6} (best ~0.4).  At reduced scale we assert bounded, finite
+behaviour and that no setting collapses - the qualitative inverted-U is
+printed for inspection.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, run_sensitivity
+
+from conftest import publish
+
+LAMBDAS = (0.1, 1.0, 5.0, 10.0)
+THRESHOLDS = (0.0, 0.2, 0.4, 0.6)
+
+
+def test_fig8_sensitivity(benchmark, context):
+    runs = benchmark.pedantic(
+        lambda: run_sensitivity(context, lambdas=LAMBDAS, thresholds=THRESHOLDS),
+        rounds=1, iterations=1,
+    )
+    publish("fig8_sensitivity",
+            format_table(runs, title="Figure 8: sensitivity to lambda and lt"))
+
+    recalls = [r.metrics.recall for r in runs]
+    assert all(0.0 <= r <= 1.0 for r in recalls)
+    # No hyper-parameter choice collapses training: the worst setting
+    # stays within a band of the best.
+    assert max(recalls) - min(recalls) < 0.35

@@ -1,0 +1,37 @@
+"""Table II - categorisation and analysis of base ST-operators.
+
+Regenerates the asymptotic time/space cost table for CNN / RNN / Attn
+operators and the paper's lightweight MLP operator, and checks the
+orderings the paper's argument rests on.
+"""
+
+from __future__ import annotations
+
+from repro.nn import st_operator_complexity
+
+from conftest import publish
+
+N, L, D = 1000, 33, 64  # trajectories, max length, embedding size
+
+
+def _rows():
+    rows = []
+    for kind in ("cnn", "rnn", "attn", "lightweight"):
+        cost = st_operator_complexity(kind, N, L, D)
+        rows.append((kind, cost["time"], cost["space"]))
+    return rows
+
+
+def test_table2_complexity(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    lines = [f"Table II: ST-operator complexity (N={N}, L={L}, D={D})",
+             f"{'operator':>12}  {'time (ops)':>16}  {'space':>10}"]
+    for kind, t, s in rows:
+        lines.append(f"{kind:>12}  {t:16.3e}  {s:10.3e}")
+    publish("table2_complexity", "\n".join(lines))
+
+    by_kind = {kind: (t, s) for kind, t, s in rows}
+    # Attn time dominates CNN/RNN; lightweight is cheapest in both axes.
+    assert by_kind["attn"][0] > by_kind["rnn"][0]
+    assert by_kind["lightweight"][0] < by_kind["rnn"][0]
+    assert by_kind["lightweight"][1] < by_kind["cnn"][1]

@@ -1,0 +1,57 @@
+"""Table IV - overall performance comparison on both datasets.
+
+Every method (FC+FL, RNN+FL, MTrajRec+FL, RNTrajRec+FL, LightTR) is
+trained federated on both synthetic stand-in datasets at the paper's
+three keep ratios, and evaluated on Recall / Precision / MAE / RMSE.
+
+Reproduction target (shape, not absolute numbers): LightTR ranks first
+or ties on the aggregate; FC+FL ranks last or near-last; accuracy
+improves as the keep ratio grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_comparison_table, run_overall_comparison
+
+from conftest import publish
+
+KEEPS = (0.0625, 0.125, 0.25)
+METHODS = ("FC+FL", "RNN+FL", "MTrajRec+FL", "RNTrajRec+FL", "LightTR")
+
+
+def test_table4_overall(benchmark, context):
+    runs = benchmark.pedantic(
+        lambda: run_overall_comparison(context, keep_ratios=KEEPS,
+                                       methods=METHODS),
+        rounds=1, iterations=1,
+    )
+    publish("table4_overall",
+            format_comparison_table(runs, title="Table IV: overall comparison"))
+
+    def mean_recall(method):
+        return float(np.mean([r.metrics.recall for r in runs
+                              if r.method == method]))
+
+    def mean_mae(method):
+        return float(np.mean([r.metrics.mae for r in runs if r.method == method]))
+
+    # Shape assertion 1: LightTR beats the weakest baseline clearly and
+    # is at worst competitive with the strongest.
+    assert mean_recall("LightTR") > mean_recall("FC+FL")
+    best_baseline = max(mean_recall(m) for m in METHODS[:-1])
+    assert mean_recall("LightTR") >= best_baseline - 0.05
+
+    # Shape assertion 2: more observations -> better LightTR accuracy.
+    lighttr_by_keep = {
+        keep: np.mean([r.metrics.recall for r in runs
+                       if r.method == "LightTR" and r.keep_ratio == keep])
+        for keep in KEEPS
+    }
+    assert lighttr_by_keep[0.25] >= lighttr_by_keep[0.0625] - 0.02
+
+    # Shape assertion 3: all metrics are finite and sane.
+    for r in runs:
+        assert 0.0 <= r.metrics.recall <= 1.0
+        assert r.metrics.rmse >= r.metrics.mae - 1e-9

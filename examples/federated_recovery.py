@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Federated trajectory recovery: the full LightTR protocol.
+
+Demonstrates the paper's complete system on a synthetic T-Drive-like
+world: Non-IID client shards (drivers grouped by home region), cyclic
+teacher pre-training (Algorithm 1), meta-knowledge enhanced local
+training with the adaptive lambda (Algorithm 2), and FedAvg rounds with
+client sampling (Algorithm 3).  Finishes by comparing LightTR against
+a plain FedAvg run (the "w/o Meta" ablation) on the pooled test set.
+
+Run:  python examples/federated_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import make_model_factory
+from repro.core import ConstraintMaskBuilder, RecoveryModelConfig, TrainingConfig
+from repro.data import tdrive_like
+from repro.federated import FederatedConfig, FederatedTrainer, build_federation
+from repro.metrics import evaluate_model
+
+NUM_CLIENTS = 4
+KEEP_RATIO = 0.125  # recover 7 of every 8 points
+
+
+def main() -> None:
+    world = tdrive_like(num_drivers=12, trajectories_per_driver=8,
+                        points_per_trajectory=33, seed=11)
+    clients, global_test = build_federation(world, NUM_CLIENTS, KEEP_RATIO)
+    print(f"{NUM_CLIENTS} clients with "
+          f"{[c.num_train for c in clients]} training trajectories each; "
+          f"{len(global_test)} pooled test trajectories")
+
+    config = RecoveryModelConfig(
+        num_cells=world.grid.num_cells,
+        num_segments=world.network.num_segments,
+        hidden_size=48, cell_emb_dim=16, seg_emb_dim=16, dropout=0.0,
+        bbox=world.network.bounding_box(),
+    )
+    mask = ConstraintMaskBuilder(world.network, radius=500.0)
+    factory = make_model_factory("LightTR", config, world.network, seed=3)
+    training = TrainingConfig(epochs=2, batch_size=16, lr=3e-3)
+
+    for label, use_meta in (("LightTR (meta-knowledge)", True),
+                            ("w/o Meta (plain FedAvg)", False)):
+        # lt=0.2 suits this reduced scale (the paper's 0.4 assumes the
+        # full 512-hidden model trained for 50 epochs per client).
+        fed_config = FederatedConfig(
+            rounds=6, client_fraction=1.0, local_epochs=2,
+            training=training, use_meta=use_meta, lambda0=5.0, lt=0.2,
+        )
+        trainer = FederatedTrainer(factory, clients, mask, fed_config,
+                                   global_test, seed=0)
+        result = trainer.run()
+
+        print(f"\n=== {label} ===")
+        if result.teacher_result is not None:
+            kept = sum(result.teacher_result.accepted)
+            print(f"teacher: {kept}/{len(result.teacher_result.accepted)} "
+                  f"client updates kept (threshold lt=0.2)")
+        for record in result.history:
+            lam = f" lambda={record.mean_lambda:.2f}" if use_meta else ""
+            print(f"  round {record.round_index}: loss={record.mean_loss:.3f} "
+                  f"global_acc={record.global_accuracy:.3f}{lam}")
+        row = evaluate_model(result.global_model, mask, global_test)
+        mb = result.ledger.total_bytes / 1e6
+        print(f"final: {row}")
+        print(f"communication: {mb:.1f} MB over {result.ledger.num_rounds} rounds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""LightTR reproduction: federated trajectory recovery (ICDE 2024).
+
+Top-level convenience re-exports.  The heavy lifting lives in:
+
+* :mod:`repro.nn` - NumPy autograd / neural network substrate.
+* :mod:`repro.spatial` - road networks, geometry, grids.
+* :mod:`repro.data` - trajectory types, synthetic datasets, partitioning.
+* :mod:`repro.mapmatch` - HMM map matching.
+* :mod:`repro.core` - the LightTR model (LTE + constraint mask +
+  meta-knowledge distillation).
+* :mod:`repro.federated` - client/server FedAvg orchestration.
+* :mod:`repro.baselines` - FC+FL, RNN+FL, MTrajRec+FL, RNTrajRec+FL,
+  centralized MTrajRec.
+* :mod:`repro.metrics` - recall/precision, road-network MAE/RMSE,
+  efficiency accounting.
+* :mod:`repro.experiments` - the harness that regenerates every table
+  and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""``repro.baselines`` - comparator methods from the paper's evaluation."""
+
+from .centralized import pool_client_data, train_centralized
+from .fc import FCRecoveryModel
+from .mtrajrec import MTrajRecModel
+from .registry import METHOD_NAMES, make_model_factory
+from .rnn import RNNRecoveryModel
+from .rntrajrec import RNTrajRecModel, segment_adjacency
+
+__all__ = [
+    "FCRecoveryModel",
+    "RNNRecoveryModel",
+    "MTrajRecModel",
+    "RNTrajRecModel",
+    "segment_adjacency",
+    "METHOD_NAMES",
+    "make_model_factory",
+    "pool_client_data",
+    "train_centralized",
+]

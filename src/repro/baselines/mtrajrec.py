@@ -1,0 +1,101 @@
+"""MTrajRec baseline (Ren et al., KDD'21) - Seq2Seq multi-task recovery.
+
+The state-of-the-art centralized comparator of the paper: a GRU encoder
+that keeps *all* per-step states, and a GRU-cell decoder that attends
+over them (additive attention) each step before a multi-task head
+predicts segment and ratio.  Accurate but heavy: attention costs
+``O(T * H^2)`` per decode step (Table II's Attn row), which is exactly
+the overhead LightTR's pure-MLP operator removes.
+
+Used both in its federated wrapper (MTrajRec+FL, Table IV) and as the
+centralized upper baseline (Table VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.base import ModelOutput, RecoveryModel, RecoveryModelConfig
+from ..data.dataset import Batch
+
+__all__ = ["MTrajRecModel"]
+
+
+class MTrajRecModel(RecoveryModel):
+    """Seq2Seq + additive attention + multi-task head."""
+
+    def __init__(self, config: RecoveryModelConfig, rng: np.random.Generator):
+        super().__init__(config)
+        h = config.hidden_size
+        self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.encoder = nn.GRU(config.cell_emb_dim + 2, h, rng)
+        self.attention = nn.AdditiveAttention(h, rng)
+        self.seg_embedding = nn.Embedding(config.num_segments, config.seg_emb_dim, rng)
+        step_input = config.seg_emb_dim + 1 + 4 + h  # + attention context
+        self.decoder_cell = nn.GRUCell(step_input, h, rng)
+        self.dense_d = nn.Linear(h, h, rng)
+        self.seg_head = nn.Linear(h, config.num_segments, rng, bias=False)
+        self.emb_proj = nn.Linear(config.seg_emb_dim, h, rng)
+        self.ratio_head = nn.Linear(h + config.seg_emb_dim, 1, rng)
+
+    def forward(self, batch: Batch, log_mask: np.ndarray,
+                teacher_forcing: bool = True) -> ModelOutput:
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        b, t = batch.tgt_segments.shape
+
+        emb = self.cell_embedding(batch.obs_cells)
+        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
+        encoder_states, h = self.encoder(x, mask=batch.obs_mask)  # (B, To, H), (B, H)
+
+        guide = self._normalise_guides(batch.guide_xy)
+        prev_segments = batch.tgt_segments[:, 0].copy()
+        prev_ratios = nn.Tensor(batch.tgt_ratios[:, 0].copy())
+        denominator = max(1, t - 1)
+
+        step_logs, step_ratios, step_segments = [], [], []
+        for step in range(t):
+            context, _ = self.attention(h, encoder_states, mask=batch.obs_mask)
+            extras = np.concatenate(
+                [
+                    np.full((b, 1), step / denominator),
+                    guide[:, step, :],
+                    batch.observed_flags[:, step : step + 1].astype(np.float64),
+                ],
+                axis=1,
+            )
+            z = nn.concat(
+                [self.seg_embedding(prev_segments), prev_ratios.reshape(-1, 1),
+                 nn.Tensor(extras), context],
+                axis=-1,
+            )
+            h = self.decoder_cell(z, h)
+
+            h_d = self.dense_d(h)
+            logits = self.seg_head(h_d) + nn.Tensor(log_mask[:, step, :])
+            log_probs = nn.log_softmax(logits, axis=-1)
+            segments = np.argmax(log_probs.data, axis=-1).astype(np.int64)
+            seg_emb = self.seg_embedding(segments)
+            h_e = (h_d + self.emb_proj(seg_emb)).relu()
+            ratios = self.ratio_head(nn.concat([h_e, seg_emb], axis=-1)).relu().reshape(-1)
+
+            step_logs.append(log_probs)
+            step_ratios.append(ratios)
+            step_segments.append(segments)
+
+            if teacher_forcing:
+                prev_segments = batch.tgt_segments[:, step]
+                prev_ratios = nn.Tensor(batch.tgt_ratios[:, step])
+            else:
+                observed = batch.observed_flags[:, step]
+                prev_segments = np.where(observed, batch.tgt_segments[:, step], segments)
+                prev_ratios = nn.Tensor(
+                    np.where(observed, batch.tgt_ratios[:, step],
+                             np.clip(ratios.data, 0.0, 1.0))
+                )
+
+        return ModelOutput(
+            log_probs=nn.stack(step_logs, axis=1),
+            ratios=nn.stack(step_ratios, axis=1),
+            segments=np.stack(step_segments, axis=1),
+        )

@@ -1,0 +1,55 @@
+"""Model registry: build any method by name with one call.
+
+The experiment harness and benchmarks refer to methods by the paper's
+names ("FC+FL", "RNN+FL", "MTrajRec+FL", "RNTrajRec+FL", "LightTR");
+this registry maps them to factories over a shared config, guaranteeing
+every comparison uses identical vocabularies, hidden sizes and seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.base import RecoveryModel, RecoveryModelConfig
+from ..core.lte import LTEModel
+from ..spatial.roadnet import RoadNetwork
+from .fc import FCRecoveryModel
+from .mtrajrec import MTrajRecModel
+from .rnn import RNNRecoveryModel
+from .rntrajrec import RNTrajRecModel
+
+__all__ = ["METHOD_NAMES", "make_model_factory"]
+
+#: Canonical method names, in the paper's table order.
+METHOD_NAMES = ("FC+FL", "RNN+FL", "MTrajRec+FL", "RNTrajRec+FL", "LightTR")
+
+
+def make_model_factory(method: str, config: RecoveryModelConfig,
+                       network: RoadNetwork, seed: int = 0
+                       ) -> Callable[[], RecoveryModel]:
+    """Return a zero-argument factory building a fresh model instance.
+
+    Every call to the factory reseeds its generator, so repeated model
+    construction (server + clients) starts from identical weights -
+    which is what federated averaging assumes.
+    """
+    name = method.lower().replace("+fl", "").strip()
+
+    def factory() -> RecoveryModel:
+        rng = np.random.default_rng(seed)
+        if name == "fc":
+            return FCRecoveryModel(config, rng)
+        if name == "rnn":
+            return RNNRecoveryModel(config, rng)
+        if name == "mtrajrec":
+            return MTrajRecModel(config, rng)
+        if name == "rntrajrec":
+            return RNTrajRecModel(config, rng, network)
+        if name == "lighttr":
+            return LTEModel(config, rng)
+        raise ValueError(f"unknown method {method!r}; expected one of {METHOD_NAMES}")
+
+    factory()  # validate the name eagerly
+    return factory

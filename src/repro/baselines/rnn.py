@@ -1,0 +1,97 @@
+"""RNN+FL baseline: stacked vanilla RNNs (paper Section V-A3).
+
+A plain Elman-RNN encoder over the observed points and a stacked RNN
+decoder that predicts the segment and ratio of every step with simple
+linear heads - no multi-task coupling, no segment-embedding feedback
+enrichment, no GRU gating.  Cheap (the paper notes it is the fastest)
+but markedly less accurate than LightTR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.base import ModelOutput, RecoveryModel, RecoveryModelConfig
+from ..data.dataset import Batch
+
+__all__ = ["RNNRecoveryModel"]
+
+
+class RNNRecoveryModel(RecoveryModel):
+    """Stacked-RNN recovery model."""
+
+    def __init__(self, config: RecoveryModelConfig, rng: np.random.Generator):
+        super().__init__(config)
+        h = config.hidden_size
+        self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.encoder = nn.RNN(config.cell_emb_dim + 2, h, rng)
+        self.seg_embedding = nn.Embedding(config.num_segments, config.seg_emb_dim, rng)
+        step_input = config.seg_emb_dim + 1 + 4  # prev emb + prev ratio + extras
+        cells = [nn.RNNCell(step_input, h, rng)]
+        for _ in range(max(0, config.num_st_blocks - 1)):
+            cells.append(nn.RNNCell(h, h, rng))
+        self.cells = nn.ModuleList(cells)
+        self.seg_head = nn.Linear(h, config.num_segments, rng, bias=False)
+        self.ratio_head = nn.Linear(h, 1, rng)
+
+    def forward(self, batch: Batch, log_mask: np.ndarray,
+                teacher_forcing: bool = True) -> ModelOutput:
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        b, t = batch.tgt_segments.shape
+
+        emb = self.cell_embedding(batch.obs_cells)
+        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
+        _, h = self.encoder(x, mask=batch.obs_mask)
+        states = [h for _ in range(len(self.cells))]
+
+        guide = self._normalise_guides(batch.guide_xy)
+        prev_segments = batch.tgt_segments[:, 0].copy()
+        prev_ratios = nn.Tensor(batch.tgt_ratios[:, 0].copy())
+        denominator = max(1, t - 1)
+
+        step_logs, step_ratios, step_segments = [], [], []
+        for step in range(t):
+            extras = np.concatenate(
+                [
+                    np.full((b, 1), step / denominator),
+                    guide[:, step, :],
+                    batch.observed_flags[:, step : step + 1].astype(np.float64),
+                ],
+                axis=1,
+            )
+            z = nn.concat(
+                [self.seg_embedding(prev_segments), prev_ratios.reshape(-1, 1),
+                 nn.Tensor(extras)],
+                axis=-1,
+            )
+            next_states = []
+            for cell, state in zip(self.cells, states):
+                z = cell(z, state)
+                next_states.append(z)
+            states = next_states
+
+            logits = self.seg_head(z) + nn.Tensor(log_mask[:, step, :])
+            log_probs = nn.log_softmax(logits, axis=-1)
+            ratios = self.ratio_head(z).relu().reshape(-1)
+            segments = np.argmax(log_probs.data, axis=-1).astype(np.int64)
+            step_logs.append(log_probs)
+            step_ratios.append(ratios)
+            step_segments.append(segments)
+
+            if teacher_forcing:
+                prev_segments = batch.tgt_segments[:, step]
+                prev_ratios = nn.Tensor(batch.tgt_ratios[:, step])
+            else:
+                observed = batch.observed_flags[:, step]
+                prev_segments = np.where(observed, batch.tgt_segments[:, step], segments)
+                prev_ratios = nn.Tensor(
+                    np.where(observed, batch.tgt_ratios[:, step],
+                             np.clip(ratios.data, 0.0, 1.0))
+                )
+
+        return ModelOutput(
+            log_probs=nn.stack(step_logs, axis=1),
+            ratios=nn.stack(step_ratios, axis=1),
+            segments=np.stack(step_segments, axis=1),
+        )

@@ -1,0 +1,157 @@
+"""RNTrajRec baseline (Chen et al., ICDE'23) - road-network enhanced
+recovery with a graph encoder and transformer-style attention.
+
+The strongest (and heaviest) federated baseline of the paper: road
+segment embeddings are refined with graph convolutions over the
+segment-adjacency graph, the observed sequence passes through
+self-attention encoder blocks, and an attention decoder predicts the
+missing points.  Its FLOPs dominate Figure 5 because of the attention
+stacks - which is the comparison LightTR is designed to win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.base import ModelOutput, RecoveryModel, RecoveryModelConfig
+from ..data.dataset import Batch
+from ..spatial.roadnet import RoadNetwork
+
+__all__ = ["RNTrajRecModel", "segment_adjacency"]
+
+
+def segment_adjacency(network: RoadNetwork, add_self_loops: bool = True) -> np.ndarray:
+    """Row-normalised adjacency over the directed segment graph.
+
+    Segment ``a`` connects to segment ``b`` when ``b`` can directly
+    follow ``a`` on a route (``a.end_node == b.start_node``).
+    """
+    s = network.num_segments
+    adj = np.zeros((s, s))
+    for seg in network.segments:
+        for nxt in network.successors(seg.segment_id):
+            adj[seg.segment_id, nxt.segment_id] = 1.0
+    if add_self_loops:
+        adj += np.eye(s)
+    row_sums = np.maximum(adj.sum(axis=1, keepdims=True), 1.0)
+    return adj / row_sums
+
+
+class GraphConv(nn.Module):
+    """One GCN layer over a fixed normalised adjacency."""
+
+    def __init__(self, adjacency: np.ndarray, in_dim: int, out_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self._adjacency = adjacency  # constant, not a parameter
+        self.linear = nn.Linear(in_dim, out_dim, rng)
+
+    def forward(self, node_feats: nn.Tensor) -> nn.Tensor:
+        aggregated = nn.Tensor(self._adjacency) @ node_feats
+        return self.linear(aggregated).relu()
+
+
+class RNTrajRecModel(RecoveryModel):
+    """Graph-refined segment embeddings + self-attention encoder +
+    attention decoder."""
+
+    def __init__(self, config: RecoveryModelConfig, rng: np.random.Generator,
+                 network: RoadNetwork, num_attention_blocks: int = 2,
+                 num_gcn_layers: int = 2):
+        super().__init__(config)
+        if num_attention_blocks < 1 or num_gcn_layers < 1:
+            raise ValueError("need at least one attention block and GCN layer")
+        h = config.hidden_size
+        adjacency = segment_adjacency(network)
+        self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.input_proj = nn.Linear(config.cell_emb_dim + 2, h, rng)
+        self.attn_blocks = nn.ModuleList(
+            [nn.SelfAttention(h, rng) for _ in range(num_attention_blocks)]
+        )
+        self.encoder = nn.GRU(h, h, rng)
+
+        self.seg_embedding = nn.Embedding(config.num_segments, config.seg_emb_dim, rng)
+        self.gcn_layers = nn.ModuleList(
+            [GraphConv(adjacency, config.seg_emb_dim, config.seg_emb_dim, rng)
+             for _ in range(num_gcn_layers)]
+        )
+        self.attention = nn.AdditiveAttention(h, rng)
+        step_input = config.seg_emb_dim + 1 + 4 + h
+        self.decoder_cell = nn.GRUCell(step_input, h, rng)
+        self.dense_d = nn.Linear(h, h, rng)
+        self.seg_head = nn.Linear(h, config.num_segments, rng, bias=False)
+        self.emb_proj = nn.Linear(config.seg_emb_dim, h, rng)
+        self.ratio_head = nn.Linear(h + config.seg_emb_dim, 1, rng)
+
+    def refined_segment_embeddings(self) -> nn.Tensor:
+        """Segment embedding table after GCN refinement ``(S, E)``."""
+        feats = self.seg_embedding.weight
+        out: nn.Tensor = feats
+        for layer in self.gcn_layers:
+            out = layer(out)
+        return out
+
+    def forward(self, batch: Batch, log_mask: np.ndarray,
+                teacher_forcing: bool = True) -> ModelOutput:
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        b, t = batch.tgt_segments.shape
+
+        emb = self.cell_embedding(batch.obs_cells)
+        x = self.input_proj(nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1))
+        for block in self.attn_blocks:
+            x = block(x)
+        encoder_states, h = self.encoder(x, mask=batch.obs_mask)
+
+        seg_table = self.refined_segment_embeddings()  # (S, E)
+        guide = self._normalise_guides(batch.guide_xy)
+        prev_segments = batch.tgt_segments[:, 0].copy()
+        prev_ratios = nn.Tensor(batch.tgt_ratios[:, 0].copy())
+        denominator = max(1, t - 1)
+
+        step_logs, step_ratios, step_segments = [], [], []
+        for step in range(t):
+            context, _ = self.attention(h, encoder_states, mask=batch.obs_mask)
+            extras = np.concatenate(
+                [
+                    np.full((b, 1), step / denominator),
+                    guide[:, step, :],
+                    batch.observed_flags[:, step : step + 1].astype(np.float64),
+                ],
+                axis=1,
+            )
+            prev_emb = seg_table[prev_segments]  # differentiable row gather
+            z = nn.concat(
+                [prev_emb, prev_ratios.reshape(-1, 1), nn.Tensor(extras), context],
+                axis=-1,
+            )
+            h = self.decoder_cell(z, h)
+
+            h_d = self.dense_d(h)
+            logits = self.seg_head(h_d) + nn.Tensor(log_mask[:, step, :])
+            log_probs = nn.log_softmax(logits, axis=-1)
+            segments = np.argmax(log_probs.data, axis=-1).astype(np.int64)
+            seg_emb = seg_table[segments]
+            h_e = (h_d + self.emb_proj(seg_emb)).relu()
+            ratios = self.ratio_head(nn.concat([h_e, seg_emb], axis=-1)).relu().reshape(-1)
+
+            step_logs.append(log_probs)
+            step_ratios.append(ratios)
+            step_segments.append(segments)
+
+            if teacher_forcing:
+                prev_segments = batch.tgt_segments[:, step]
+                prev_ratios = nn.Tensor(batch.tgt_ratios[:, step])
+            else:
+                observed = batch.observed_flags[:, step]
+                prev_segments = np.where(observed, batch.tgt_segments[:, step], segments)
+                prev_ratios = nn.Tensor(
+                    np.where(observed, batch.tgt_ratios[:, step],
+                             np.clip(ratios.data, 0.0, 1.0))
+                )
+
+        return ModelOutput(
+            log_probs=nn.stack(step_logs, axis=1),
+            ratios=nn.stack(step_ratios, axis=1),
+            segments=np.stack(step_segments, axis=1),
+        )

@@ -1,0 +1,27 @@
+"""``repro.core`` - the LightTR model and its training machinery."""
+
+from .base import ModelOutput, RecoveryModel, RecoveryModelConfig
+from .distill import MetaKnowledgeDistiller, dynamic_lambda
+from .lte import LTEConfig, LTEModel
+from .mask import GAMMA_DEFAULT, ConstraintMaskBuilder
+from .recovery import RecoveredTrajectory, TrajectoryRecovery
+from .st_block import LightweightSTOperator, STStepOutput
+from .teacher import TeacherConfig, TeacherTrainingResult, train_teacher
+from .training import (
+    LocalTrainer,
+    TrainingConfig,
+    evaluate_output_accuracy,
+    model_segment_accuracy,
+)
+
+__all__ = [
+    "RecoveryModel", "RecoveryModelConfig", "ModelOutput",
+    "LTEConfig", "LTEModel",
+    "LightweightSTOperator", "STStepOutput",
+    "ConstraintMaskBuilder", "GAMMA_DEFAULT",
+    "MetaKnowledgeDistiller", "dynamic_lambda",
+    "TeacherConfig", "TeacherTrainingResult", "train_teacher",
+    "TrainingConfig", "LocalTrainer", "model_segment_accuracy",
+    "evaluate_output_accuracy",
+    "TrajectoryRecovery", "RecoveredTrajectory",
+]

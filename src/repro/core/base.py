@@ -1,0 +1,121 @@
+"""Shared interface for every trajectory recovery model in the repo.
+
+LightTR's LTE model and all four federated baselines (FC, RNN,
+MTrajRec, RNTrajRec) implement the same contract so that a single
+trainer, federated loop, and metric pipeline serve them all:
+
+* ``forward(batch, log_mask, teacher_forcing)`` returns a
+  :class:`ModelOutput` with per-step segment log-probabilities, moving
+  ratios, and argmax segment ids;
+* ``loss(output, batch, mu)`` is the paper's multi-task objective
+  ``L1 + mu * L2`` (Eq. 13-15), shared across models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Batch
+from ..nn.tensor import Tensor
+
+__all__ = ["ModelOutput", "RecoveryModel", "RecoveryModelConfig"]
+
+
+@dataclass(frozen=True)
+class RecoveryModelConfig:
+    """Hyper-parameters shared by all recovery models."""
+
+    num_cells: int
+    num_segments: int
+    cell_emb_dim: int = 24
+    seg_emb_dim: int = 24
+    hidden_size: int = 64
+    num_st_blocks: int = 2
+    dropout: float = 0.1
+    bbox: tuple[float, float, float, float] = (0.0, 0.0, 1.0, 1.0)
+    encoder: str = "gru"  # "gru" (paper), "lstm", or "rnn" (ablations)
+
+    def __post_init__(self):
+        if self.num_cells < 1 or self.num_segments < 1:
+            raise ValueError("vocabulary sizes must be positive")
+        if self.hidden_size < 1:
+            raise ValueError("hidden size must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.encoder not in ("gru", "lstm", "rnn"):
+            raise ValueError(f"unknown encoder {self.encoder!r}")
+
+
+class ModelOutput:
+    """Forward-pass outputs over a batch."""
+
+    __slots__ = ("log_probs", "ratios", "segments")
+
+    def __init__(self, log_probs: Tensor, ratios: Tensor, segments: np.ndarray):
+        self.log_probs = log_probs  # (B, T, S)
+        self.ratios = ratios  # (B, T)
+        self.segments = segments  # (B, T) int64 argmax predictions
+
+    def probs(self) -> Tensor:
+        """Segment probability tensor (used for distillation)."""
+        return self.log_probs.exp()
+
+
+class RecoveryModel(nn.Module):
+    """Base class: shared loss and coordinate normalisation."""
+
+    def __init__(self, config: RecoveryModelConfig):
+        super().__init__()
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # contract
+    # ------------------------------------------------------------------
+    def forward(self, batch: Batch, log_mask: np.ndarray,
+                teacher_forcing: bool = True) -> ModelOutput:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # loss (paper Eq. 13-15)
+    # ------------------------------------------------------------------
+    def loss(self, output: ModelOutput, batch: Batch, mu: float = 1.0
+             ) -> tuple[Tensor, dict[str, float]]:
+        """Local recovery loss ``L1 + mu * L2`` over valid steps.
+
+        ``L1`` is segment cross-entropy computed from the (masked)
+        log-probabilities; ``L2`` is moving-ratio MSE.  Padding steps
+        are excluded through per-sample weights.
+        """
+        b, t, s = output.log_probs.shape
+        weights = batch.tgt_mask.astype(np.float64).reshape(-1)
+        flat_logs = output.log_probs.reshape(b * t, s)
+        l1 = nn.nll_from_log_probs(flat_logs, batch.tgt_segments.reshape(-1), weights)
+        l2 = nn.mse_loss(output.ratios.reshape(-1),
+                         batch.tgt_ratios.reshape(-1), weights)
+        total = l1 + mu * l2
+        return total, {"ce": l1.item(), "mse": l2.item(), "total": total.item()}
+
+    # ------------------------------------------------------------------
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _normalise_guides(self, guide_xy: np.ndarray) -> np.ndarray:
+        """Map guide positions into roughly [-1, 1] model coordinates."""
+        min_x, min_y, max_x, max_y = self.config.bbox
+        cx, cy = (min_x + max_x) / 2.0, (min_y + max_y) / 2.0
+        half = max(max_x - min_x, max_y - min_y) / 2.0 or 1.0
+        normed = np.empty_like(guide_xy)
+        normed[..., 0] = (guide_xy[..., 0] - cx) / half
+        normed[..., 1] = (guide_xy[..., 1] - cy) / half
+        return normed
+
+    @staticmethod
+    def _validate_mask(log_mask: np.ndarray, batch: Batch, num_segments: int) -> None:
+        b, t = batch.tgt_segments.shape
+        if log_mask.shape != (b, t, num_segments):
+            raise ValueError(
+                f"log_mask shape {log_mask.shape} does not match batch "
+                f"({b}, {t}, {num_segments})"
+            )

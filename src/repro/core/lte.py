@@ -1,0 +1,124 @@
+"""LTE - the Lightweight Trajectory Embedding model (paper Section IV-B).
+
+Architecture (Figure 3):
+
+* **Embedding model**: grid-cell embeddings of the observed points plus
+  time-index features go through a GRU (Eq. 5-6); the final state is the
+  trajectory embedding ``h``.
+* **ST-blocks**: the :class:`~repro.core.st_block.LightweightSTOperator`
+  decodes the complete trajectory step by step, predicting the road
+  segment and moving ratio of every point (Eq. 7-9) under the
+  constraint mask (Eq. 10-11).
+
+The model is used as both the *student* (local model) and the *teacher*
+(meta-learner) in the meta-knowledge training scheme (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Batch
+from ..nn.tensor import Tensor
+from .base import ModelOutput, RecoveryModel, RecoveryModelConfig
+from .st_block import LightweightSTOperator
+
+__all__ = ["LTEConfig", "LTEModel"]
+
+# The LTE model shares the generic recovery-model hyper-parameters.
+LTEConfig = RecoveryModelConfig
+
+
+class LTEModel(RecoveryModel):
+    """The LightTR local model: GRU encoder + lightweight ST-operator."""
+
+    #: number of auxiliary features fed to each decode step
+    EXTRA_INPUTS = 4
+
+    def __init__(self, config: RecoveryModelConfig, rng: np.random.Generator):
+        super().__init__(config)
+        self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.embed_dropout = nn.Dropout(config.dropout, rng) if config.dropout else None
+        encoder_cls = {"gru": nn.GRU, "lstm": nn.LSTM, "rnn": nn.RNN}[config.encoder]
+        self.encoder = encoder_cls(config.cell_emb_dim + 2, config.hidden_size, rng)
+        self.st_operator = LightweightSTOperator(
+            num_segments=config.num_segments,
+            seg_emb_dim=config.seg_emb_dim,
+            hidden_size=config.hidden_size,
+            rng=rng,
+            extra_inputs=self.EXTRA_INPUTS,
+            num_blocks=config.num_st_blocks,
+        )
+
+    def encode(self, batch: Batch) -> Tensor:
+        """Embed the observed (incomplete) trajectory into ``(B, H)``."""
+        emb = self.cell_embedding(batch.obs_cells)  # (B, To, E)
+        if self.embed_dropout is not None:
+            emb = self.embed_dropout(emb)
+        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
+        _, h = self.encoder(x, mask=batch.obs_mask)
+        return h
+
+    def forward(self, batch: Batch, log_mask: np.ndarray,
+                teacher_forcing: bool = True) -> ModelOutput:
+        """Recover the complete trajectory.
+
+        Parameters
+        ----------
+        batch:
+            Padded mini-batch.
+        log_mask:
+            Constraint-mask log weights ``(B, T, S)`` from
+            :class:`~repro.core.mask.ConstraintMaskBuilder`.
+        teacher_forcing:
+            During training, feed ground-truth previous points into each
+            step; at inference, feed the model's own predictions (with
+            observed points clamped to their known values - they are
+            inputs, not predictions).
+        """
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        b, t = batch.tgt_segments.shape
+        h = self.encode(batch)
+        states = self.st_operator.initial_states(h)
+
+        guide = self._normalise_guides(batch.guide_xy)
+        prev_segments = batch.tgt_segments[:, 0].copy()  # index 0 is observed
+        prev_ratios: Tensor = nn.Tensor(batch.tgt_ratios[:, 0].copy())
+
+        step_logs: list[Tensor] = []
+        step_ratios: list[Tensor] = []
+        step_segments: list[np.ndarray] = []
+        denominator = max(1, t - 1)
+        for step in range(t):
+            extras = np.concatenate(
+                [
+                    np.full((b, 1), step / denominator),
+                    guide[:, step, :],
+                    batch.observed_flags[:, step : step + 1].astype(np.float64),
+                ],
+                axis=1,
+            )
+            states, out = self.st_operator.step(
+                states, prev_segments, prev_ratios, extras, log_mask[:, step, :]
+            )
+            step_logs.append(out.log_probs)
+            step_ratios.append(out.ratios)
+            step_segments.append(out.segments)
+
+            if teacher_forcing:
+                prev_segments = batch.tgt_segments[:, step]
+                prev_ratios = nn.Tensor(batch.tgt_ratios[:, step])
+            else:
+                observed = batch.observed_flags[:, step]
+                prev_segments = np.where(observed, batch.tgt_segments[:, step],
+                                         out.segments)
+                clamped = np.where(observed, batch.tgt_ratios[:, step],
+                                   np.clip(out.ratios.data, 0.0, 1.0))
+                prev_ratios = nn.Tensor(clamped)
+
+        return ModelOutput(
+            log_probs=nn.stack(step_logs, axis=1),
+            ratios=nn.stack(step_ratios, axis=1),
+            segments=np.stack(step_segments, axis=1),
+        )

@@ -1,0 +1,90 @@
+"""High-level trajectory recovery API.
+
+:class:`TrajectoryRecovery` wraps a trained model and the constraint
+mask and turns encoded datasets back into recovered
+:class:`~repro.data.trajectory.MatchedTrajectory` objects - the
+user-facing operation ``F(.)`` of the problem statement (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Batch, TrajectoryDataset
+from ..data.trajectory import MatchedPoint, MatchedTrajectory
+from .base import RecoveryModel
+from .mask import ConstraintMaskBuilder
+
+__all__ = ["RecoveredTrajectory", "TrajectoryRecovery"]
+
+
+@dataclass(frozen=True)
+class RecoveredTrajectory:
+    """A recovered trajectory together with its provenance."""
+
+    trajectory: MatchedTrajectory
+    traj_id: int
+    recovered_indices: tuple[int, ...]  # which points the model produced
+
+
+class TrajectoryRecovery:
+    """Recover complete trajectories from incomplete ones with a model.
+
+    Observed points are passed through unchanged (they are inputs);
+    missing points take the model's predicted segment and clipped
+    moving ratio.
+    """
+
+    def __init__(self, model: RecoveryModel, mask_builder: ConstraintMaskBuilder):
+        self.model = model
+        self.mask_builder = mask_builder
+
+    def predict_batch(self, batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+        """Predicted ``(segments, ratios)`` arrays of shape ``(B, T)``.
+
+        Observed steps are clamped to their ground-truth (observed)
+        values; ratios are clipped to [0, 1].
+        """
+        log_mask = self.mask_builder.build(batch)
+        self.model.eval()
+        with nn.no_grad():
+            output = self.model(batch, log_mask, teacher_forcing=False)
+        segments = np.where(batch.observed_flags, batch.tgt_segments, output.segments)
+        ratios = np.where(batch.observed_flags, batch.tgt_ratios,
+                          np.clip(output.ratios.data, 0.0, 1.0))
+        return segments.astype(np.int64), ratios
+
+    def recover_dataset(self, dataset: TrajectoryDataset,
+                        epsilon: float = 15.0) -> list[RecoveredTrajectory]:
+        """Recover every trajectory in ``dataset``."""
+        if len(dataset) == 0:
+            return []
+        batch = dataset.full_batch()
+        segments, ratios = self.predict_batch(batch)
+        results = []
+        for i, example in enumerate(dataset.examples):
+            n = example.full_length
+            points = tuple(
+                MatchedPoint(
+                    segment_id=int(segments[i, j]),
+                    ratio=float(ratios[i, j]),
+                    t=j * epsilon,
+                    tid=j,
+                )
+                for j in range(n)
+            )
+            recovered = MatchedTrajectory(
+                traj_id=example.traj_id,
+                driver_id=example.driver_id,
+                epsilon=epsilon,
+                points=points,
+            )
+            missing = tuple(int(j) for j in np.flatnonzero(~example.observed_flags))
+            results.append(RecoveredTrajectory(
+                trajectory=recovered, traj_id=example.traj_id,
+                recovered_indices=missing,
+            ))
+        return results

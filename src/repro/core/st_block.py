@@ -1,0 +1,127 @@
+"""The lightweight ST-operator (paper Section IV-B2, Eq. 7-9).
+
+One ST-block = a single RNN layer whose cell output feeds a pure-MLP
+multi-task (MT) head that predicts the road segment ``e_t`` (through a
+dense layer + constraint mask, Eq. 11) and the moving ratio ``r_t``
+(dense over the concatenation of the enriched hidden state and the
+segment embedding, Eq. 8) simultaneously.  The predicted ``(e_t, r_t)``
+are fed back as the next step's input (Eq. 9), so spatial decisions
+propagate temporally without any attention or convolution - this is
+what makes the operator "lightweight" (Table II's O(N(L+D)) row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["LightweightSTOperator", "STStepOutput"]
+
+
+class STStepOutput:
+    """Outputs of one decoding step."""
+
+    __slots__ = ("hidden", "log_probs", "segments", "ratios")
+
+    def __init__(self, hidden: Tensor, log_probs: Tensor,
+                 segments: np.ndarray, ratios: Tensor):
+        self.hidden = hidden  # (B, H) next recurrent state
+        self.log_probs = log_probs  # (B, S) masked log probabilities
+        self.segments = segments  # (B,) argmax segment ids (int64)
+        self.ratios = ratios  # (B,) predicted moving ratios
+
+
+class LightweightSTOperator(nn.Module):
+    """RNN + MLP multi-task head over the segment vocabulary.
+
+    Parameters
+    ----------
+    num_segments:
+        Size of the road-segment vocabulary (classifier width).
+    seg_emb_dim:
+        Dimension of the road-segment embedding (Eq. 8's Emb layer).
+    hidden_size:
+        Recurrent state width.
+    extra_inputs:
+        Width of additional per-step features (step fraction, guide
+        position, observed flag) concatenated into the cell input.
+    num_blocks:
+        Number of stacked RNN cells (the paper stacks ST-blocks; the MT
+        head reads the top cell's state).
+    """
+
+    def __init__(self, num_segments: int, seg_emb_dim: int, hidden_size: int,
+                 rng: np.random.Generator, extra_inputs: int = 4,
+                 num_blocks: int = 2):
+        super().__init__()
+        if num_blocks < 1:
+            raise ValueError("need at least one ST-block")
+        self.num_segments = num_segments
+        self.hidden_size = hidden_size
+        self.num_blocks = num_blocks
+
+        step_input = seg_emb_dim + 1 + extra_inputs  # prev emb + prev ratio + extras
+        self.seg_embedding = nn.Embedding(num_segments, seg_emb_dim, rng)
+        cells = [nn.RNNCell(step_input, hidden_size, rng)]
+        for _ in range(num_blocks - 1):
+            cells.append(nn.RNNCell(hidden_size, hidden_size, rng))
+        self.cells = nn.ModuleList(cells)
+
+        # MT head (Eq. 8): Dense -> (mask) -> segment; Emb enrich -> ratio.
+        self.dense_d = nn.Linear(hidden_size, hidden_size, rng)
+        self.seg_head = nn.Linear(hidden_size, num_segments, rng, bias=False)
+        self.emb_proj = nn.Linear(seg_emb_dim, hidden_size, rng)
+        self.ratio_head = nn.Linear(hidden_size + seg_emb_dim, 1, rng)
+
+    def step(self, hidden_states: list[Tensor], prev_segments: np.ndarray,
+             prev_ratios: Tensor, extras: np.ndarray,
+             log_mask_t: np.ndarray) -> tuple[list[Tensor], STStepOutput]:
+        """Run one decoding step.
+
+        Parameters
+        ----------
+        hidden_states:
+            Per-block recurrent states, each ``(B, H)``.
+        prev_segments:
+            ``(B,)`` previous road segment ids (ground truth under
+            teacher forcing; model predictions at inference).
+        prev_ratios:
+            ``(B,)`` previous moving ratios as a tensor.
+        extras:
+            ``(B, extra_inputs)`` auxiliary step features.
+        log_mask_t:
+            ``(B, S)`` constraint-mask log weights for this timestep.
+
+        Returns
+        -------
+        (next_hidden_states, STStepOutput)
+        """
+        prev_emb = self.seg_embedding(prev_segments)  # (B, E)
+        x = nn.concat(
+            [prev_emb, prev_ratios.reshape(-1, 1), nn.Tensor(extras)], axis=-1
+        )
+        next_states: list[Tensor] = []
+        for cell, h in zip(self.cells, hidden_states):
+            x = cell(x, h)
+            next_states.append(x)
+        h_prime = x  # top block state (Eq. 7's h'_t)
+
+        h_d = self.dense_d(h_prime)  # (B, H)
+        logits = self.seg_head(h_d)  # (B, S)
+        masked = logits + nn.Tensor(log_mask_t)  # Eq. 11 in log space
+        log_probs = nn.log_softmax(masked, axis=-1)
+        segments = np.argmax(log_probs.data, axis=-1).astype(np.int64)
+
+        seg_emb = self.seg_embedding(segments)  # (B, E), detached ids
+        h_e = (h_d + self.emb_proj(seg_emb)).relu()  # Eq. 8 Emb step
+        ratios = self.ratio_head(nn.concat([h_e, seg_emb], axis=-1)).relu()
+        return next_states, STStepOutput(
+            hidden=h_prime, log_probs=log_probs,
+            segments=segments, ratios=ratios.reshape(-1),
+        )
+
+    def initial_states(self, encoder_state: Tensor) -> list[Tensor]:
+        """Per-block initial recurrent states seeded by the encoder."""
+        return [encoder_state for _ in range(self.num_blocks)]

@@ -1,0 +1,112 @@
+"""Teacher (meta-learner) training - paper Algorithm 1.
+
+Before federated training starts, a single teacher model is trained
+*cyclically* across clients: it visits each client in turn, trains on a
+subset of that client's local data, and a validation-accuracy threshold
+``lt`` decides whether the update is kept.  Knowledge that transfers
+(accuracy stays above the threshold) is preserved; updates from clients
+whose data would derail the accumulated common knowledge are rolled
+back.  This sequential hand-off is how the teacher accumulates
+*meta-knowledge* that smooths over Non-IID clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..data.dataset import TrajectoryDataset
+from .base import RecoveryModel
+from .mask import ConstraintMaskBuilder
+from .training import LocalTrainer, TrainingConfig
+
+__all__ = ["TeacherConfig", "TeacherTrainingResult", "train_teacher"]
+
+
+@dataclass(frozen=True)
+class TeacherConfig:
+    """Knobs of Algorithm 1."""
+
+    lt: float = 0.4  # validation-accuracy threshold for keeping updates
+    epochs_per_client: int = 2
+    cycles: int = 1  # passes over the client ring
+    subset_fraction: float = 0.5  # share of local data used for meta-knowledge
+    training: TrainingConfig = TrainingConfig(epochs=2)
+
+    def __post_init__(self):
+        if not 0.0 <= self.lt <= 1.0:
+            raise ValueError("lt must be in [0, 1]")
+        if not 0.0 < self.subset_fraction <= 1.0:
+            raise ValueError("subset_fraction must be in (0, 1]")
+        if self.cycles < 1 or self.epochs_per_client < 1:
+            raise ValueError("cycles and epochs_per_client must be >= 1")
+
+
+@dataclass
+class TeacherTrainingResult:
+    """The trained teacher plus a log of the keep/rollback decisions."""
+
+    teacher: RecoveryModel
+    accepted: list[bool]
+    accuracies: list[float]
+
+
+def train_teacher(model_factory: Callable[[], RecoveryModel],
+                  client_splits: list[tuple[TrajectoryDataset, TrajectoryDataset]],
+                  mask_builder: ConstraintMaskBuilder,
+                  config: TeacherConfig,
+                  rng: np.random.Generator) -> TeacherTrainingResult:
+    """Run Algorithm 1 and return the common teacher model.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building a fresh recovery model (the
+        teacher shares the LTE architecture with the students).
+    client_splits:
+        Per-client ``(train, valid)`` dataset pairs, in ring order.
+    mask_builder:
+        Shared constraint-mask builder.
+    config:
+        Algorithm 1 parameters (threshold ``lt``, cycle count, local
+        epochs, subset fraction).
+    rng:
+        Randomness source for subset selection and batch shuffling.
+    """
+    if not client_splits:
+        raise ValueError("teacher training needs at least one client")
+    teacher = model_factory()
+    trainer = LocalTrainer(teacher, mask_builder, config.training, rng)
+
+    accepted: list[bool] = []
+    accuracies: list[float] = []
+    for _ in range(config.cycles):
+        for train_set, valid_set in client_splits:
+            subset = _subset(train_set, config.subset_fraction, rng)
+            snapshot = teacher.state_dict()
+            trainer.train_epochs(subset, epochs=config.epochs_per_client)
+            accuracy = trainer.segment_accuracy(valid_set)
+            keep = accuracy >= config.lt
+            if not keep:
+                # The update degraded below the knowledge threshold:
+                # roll back to the previously accumulated knowledge
+                # (Algorithm 1 lines 5-10).
+                teacher.load_state_dict(snapshot)
+            accepted.append(keep)
+            accuracies.append(accuracy)
+    teacher.eval()
+    return TeacherTrainingResult(teacher=teacher, accepted=accepted,
+                                 accuracies=accuracies)
+
+
+def _subset(dataset: TrajectoryDataset, fraction: float,
+            rng: np.random.Generator) -> TrajectoryDataset:
+    """A random fraction of a dataset (at least one example)."""
+    if fraction >= 1.0:
+        return dataset
+    count = max(1, int(round(fraction * len(dataset))))
+    picks = rng.choice(len(dataset), size=count, replace=False)
+    return TrajectoryDataset([dataset[i] for i in picks], dataset.grid,
+                             dataset.network, dataset.keep_ratio)

@@ -1,0 +1,39 @@
+"""``repro.data`` - trajectory types, synthetic datasets, encoding, partitioning."""
+
+from .dataset import Batch, RecoveryExample, TrajectoryDataset, encode_example
+from .downsample import KEEP_RATIOS, downsample, downsample_random, stride_for_keep_ratio
+from .io import (
+    BEIJING_REF,
+    load_trajectories_csv,
+    parse_geolife_plt,
+    parse_tdrive_txt,
+    save_trajectories_csv,
+)
+from .partition import partition_dataset, partition_trajectories
+from .synthetic import (
+    DriverProfile,
+    SyntheticConfig,
+    SyntheticDataset,
+    generate_dataset,
+    geolife_like,
+    tdrive_like,
+)
+from .trajectory import (
+    IncompleteTrajectory,
+    MatchedPoint,
+    MatchedTrajectory,
+    RawPoint,
+    RawTrajectory,
+)
+
+__all__ = [
+    "RawPoint", "RawTrajectory", "MatchedPoint", "MatchedTrajectory",
+    "IncompleteTrajectory",
+    "downsample", "downsample_random", "stride_for_keep_ratio", "KEEP_RATIOS",
+    "RecoveryExample", "Batch", "TrajectoryDataset", "encode_example",
+    "DriverProfile", "SyntheticConfig", "SyntheticDataset", "generate_dataset",
+    "geolife_like", "tdrive_like",
+    "partition_dataset", "partition_trajectories",
+    "BEIJING_REF", "parse_geolife_plt", "parse_tdrive_txt",
+    "save_trajectories_csv", "load_trajectories_csv",
+]

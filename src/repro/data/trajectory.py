@@ -1,0 +1,147 @@
+"""Trajectory data types (paper Definitions 2-6).
+
+Three representations flow through the system:
+
+* :class:`RawTrajectory` - noisy GPS points straight off the device.
+* :class:`MatchedTrajectory` - map-matched, uniform epsilon-sampling-rate
+  points ``(e, r, t)`` produced by the HMM matcher (Definition 5).
+* :class:`IncompleteTrajectory` - a matched trajectory with most points
+  removed by downsampling (Definition 6); the model's input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spatial.geometry import Point
+from ..spatial.roadnet import RoadNetwork
+
+__all__ = ["RawPoint", "RawTrajectory", "MatchedPoint", "MatchedTrajectory", "IncompleteTrajectory"]
+
+
+@dataclass(frozen=True)
+class RawPoint:
+    """A GPS fix in the local planar frame (Definition 2)."""
+
+    x: float
+    y: float
+    t: float
+
+    def as_point(self) -> Point:
+        """Drop the timestamp."""
+        return Point(self.x, self.y)
+
+
+@dataclass(frozen=True)
+class RawTrajectory:
+    """A sequence of raw GPS fixes (Definition 3)."""
+
+    traj_id: int
+    driver_id: int
+    points: tuple[RawPoint, ...]
+
+    def __post_init__(self):
+        if len(self.points) < 2:
+            raise ValueError("a trajectory needs at least two points")
+        times = [p.t for p in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("timestamps must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True)
+class MatchedPoint:
+    """A map-matched trajectory point ``(e, r)`` at time ``t`` (Definition 5).
+
+    ``tid`` is the discrete time index ``floor((t - t0) / epsilon)`` the
+    paper uses to tell the model how many points to recover (Eq. 4).
+    """
+
+    segment_id: int
+    ratio: float
+    t: float
+    tid: int
+
+    def position(self, network: RoadNetwork) -> Point:
+        """Planar position of this matched point."""
+        return network.position_at(self.segment_id, self.ratio)
+
+
+@dataclass(frozen=True)
+class MatchedTrajectory:
+    """A uniform epsilon-sampling-rate map-matched trajectory."""
+
+    traj_id: int
+    driver_id: int
+    epsilon: float
+    points: tuple[MatchedPoint, ...]
+
+    def __post_init__(self):
+        if len(self.points) < 2:
+            raise ValueError("a matched trajectory needs at least two points")
+        if self.epsilon <= 0:
+            raise ValueError("sampling rate epsilon must be positive")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def segment_ids(self) -> list[int]:
+        """The road-segment label sequence."""
+        return [p.segment_id for p in self.points]
+
+    def ratios(self) -> list[float]:
+        """The moving-ratio sequence."""
+        return [p.ratio for p in self.points]
+
+    def positions(self, network: RoadNetwork) -> list[Point]:
+        """Planar positions of every point."""
+        return [p.position(network) for p in self.points]
+
+
+@dataclass(frozen=True)
+class IncompleteTrajectory:
+    """A matched trajectory with missing interior points (Definition 6).
+
+    ``observed_indices`` index into the *complete* trajectory of length
+    ``full_length``; the points at those indices are kept, everything
+    else must be recovered.
+    """
+
+    source: MatchedTrajectory
+    observed_indices: tuple[int, ...]
+    keep_ratio: float = field(default=0.0)
+
+    def __post_init__(self):
+        n = len(self.source)
+        idx = self.observed_indices
+        if len(idx) < 2:
+            raise ValueError("need at least two observed points (endpoints)")
+        if idx[0] != 0 or idx[-1] != n - 1:
+            raise ValueError("endpoints of the trajectory must be observed")
+        if any(b <= a for a, b in zip(idx, idx[1:])):
+            raise ValueError("observed indices must be strictly increasing")
+        if idx[-1] >= n:
+            raise IndexError("observed index out of range")
+
+    @property
+    def full_length(self) -> int:
+        """Length of the complete trajectory to recover."""
+        return len(self.source)
+
+    @property
+    def observed_points(self) -> list[MatchedPoint]:
+        """The observed (kept) points."""
+        return [self.source.points[i] for i in self.observed_indices]
+
+    @property
+    def missing_indices(self) -> list[int]:
+        """Indices of the points that must be recovered."""
+        observed = set(self.observed_indices)
+        return [i for i in range(self.full_length) if i not in observed]
+
+    def observed_flags(self) -> list[bool]:
+        """Boolean per complete-trajectory index: was it observed?"""
+        observed = set(self.observed_indices)
+        return [i in observed for i in range(self.full_length)]

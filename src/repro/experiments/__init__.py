@@ -1,0 +1,26 @@
+"""``repro.experiments`` - harness regenerating every paper table/figure."""
+
+from .harness import (
+    SCALES,
+    ExperimentContext,
+    ExperimentScale,
+    MethodRun,
+    run_ablation,
+    run_case_study,
+    run_centralized_comparison,
+    run_client_count_sweep,
+    run_convergence,
+    run_design_ablations,
+    run_fraction_sweep,
+    run_overall_comparison,
+    run_sensitivity,
+)
+from .reporting import ascii_scatter, format_comparison_table, format_curves, format_table
+
+__all__ = [
+    "ExperimentScale", "SCALES", "ExperimentContext", "MethodRun",
+    "run_overall_comparison", "run_client_count_sweep", "run_fraction_sweep",
+    "run_centralized_comparison", "run_ablation", "run_sensitivity",
+    "run_design_ablations", "run_case_study", "run_convergence",
+    "format_table", "format_comparison_table", "ascii_scatter", "format_curves",
+]

@@ -1,0 +1,110 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro.experiments table4 --scale tiny
+    python -m repro.experiments fig7 --scale small --datasets geolife
+    python -m repro.experiments all --scale tiny
+
+Each experiment prints the same rows/series its benchmark publishes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import (
+    SCALES,
+    ExperimentContext,
+    run_ablation,
+    run_case_study,
+    run_centralized_comparison,
+    run_client_count_sweep,
+    run_convergence,
+    run_fraction_sweep,
+    run_overall_comparison,
+    run_sensitivity,
+)
+from .reporting import ascii_scatter, format_comparison_table, format_curves, format_table
+
+EXPERIMENTS = ("table4", "table5", "table6", "fig5", "fig6", "fig7", "fig8",
+               "fig9", "fig10")
+
+
+def _dispatch(name: str, context: ExperimentContext, datasets: tuple[str, ...]) -> str:
+    if name == "table4":
+        return format_comparison_table(
+            run_overall_comparison(context, datasets=datasets),
+            title="Table IV: overall comparison")
+    if name == "table5":
+        return format_table(
+            run_client_count_sweep(context, datasets=datasets,
+                                   client_counts=(2, context.scale.num_clients)),
+            title="Table V: effect of the number of clients")
+    if name == "table6":
+        return format_comparison_table(
+            run_centralized_comparison(context, datasets=datasets),
+            title="Table VI: centralized vs LightTR")
+    if name == "fig5":
+        from ..baselines import make_model_factory
+        from ..core.training import LocalTrainer
+        from ..metrics import profile_model
+        import numpy as np
+
+        clients, _ = context.federation(datasets[0], 0.125)
+        config = context.model_config(datasets[0])
+        network = context.dataset(datasets[0]).network
+        lines = ["Figure 5: running efficiency"]
+        for method in ("RNN+FL", "MTrajRec+FL", "RNTrajRec+FL", "LightTR"):
+            model = make_model_factory(method, config, network)()
+            trainer = LocalTrainer(model, context.mask_builder(datasets[0]),
+                                   context.training_config(),
+                                   np.random.default_rng(0))
+            trainer.train_epoch(clients[0].train)
+            lines.append(str(profile_model(
+                method, model, trainer, clients[0].train,
+                context.scale.points_per_trajectory)))
+        return "\n".join(lines)
+    if name == "fig6":
+        return format_table(run_fraction_sweep(context, datasets=datasets),
+                            title="Figure 6: effect of client fractions")
+    if name == "fig7":
+        return format_table(run_ablation(context, datasets=datasets),
+                            title="Figure 7: ablation study")
+    if name == "fig8":
+        return format_table(run_sensitivity(context, datasets=datasets),
+                            title="Figure 8: parameter sensitivity")
+    if name == "fig9":
+        result = run_case_study(context, dataset_name=datasets[0],
+                                methods=("LightTR",))
+        return ascii_scatter(
+            {"truth": result["ground_truth"], "observed": result["observed"],
+             "xpred": result["predictions"]["LightTR"]},
+            title="Figure 9: case study")
+    if name == "fig10":
+        return format_curves(run_convergence(context, dataset_name=datasets[0]),
+                             title="Convergence (per-round global accuracy)")
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate LightTR paper experiments.")
+    parser.add_argument("experiment", choices=(*EXPERIMENTS, "all"))
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--datasets", nargs="+", default=["geolife", "tdrive"],
+                        choices=["geolife", "tdrive"])
+    args = parser.parse_args(argv)
+
+    context = ExperimentContext(SCALES[args.scale])
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(_dispatch(name, context, tuple(args.datasets)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

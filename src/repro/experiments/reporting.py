@@ -1,0 +1,124 @@
+"""Plain-text reporting: the tables and ASCII figures the benches print.
+
+Library code never prints; benchmarks and examples call these helpers
+to render :class:`~repro.experiments.harness.MethodRun` lists the same
+way the paper lays out its tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import MethodRun
+
+__all__ = ["format_table", "format_comparison_table", "ascii_scatter", "format_curves"]
+
+
+def format_table(runs: list[MethodRun], title: str = "") -> str:
+    """Render runs as an aligned text table (one row per run)."""
+    headers = ["method", "dataset", "keep", "recall", "precision", "mae", "rmse", "sec"]
+    rows = [
+        [
+            run.method,
+            run.dataset,
+            f"{run.keep_ratio:.4f}".rstrip("0").rstrip("."),
+            f"{run.metrics.recall:.3f}",
+            f"{run.metrics.precision:.3f}",
+            f"{run.metrics.mae:.3f}",
+            f"{run.metrics.rmse:.3f}",
+            f"{run.elapsed_seconds:.1f}",
+        ]
+        for run in runs
+    ]
+    return _render(headers, rows, title)
+
+
+def format_comparison_table(runs: list[MethodRun], title: str = "") -> str:
+    """Paper-style layout: methods as rows, keep ratios as column groups."""
+    datasets = sorted({r.dataset for r in runs})
+    keeps = sorted({r.keep_ratio for r in runs})
+    methods = list(dict.fromkeys(r.method for r in runs))  # keep order
+    blocks = []
+    for dataset in datasets:
+        headers = ["method"]
+        for keep in keeps:
+            pct = f"{keep * 100:g}%"
+            headers += [f"R@{pct}", f"P@{pct}", f"MAE@{pct}", f"RMSE@{pct}"]
+        rows = []
+        for method in methods:
+            row = [method]
+            for keep in keeps:
+                match = [r for r in runs
+                         if r.method == method and r.dataset == dataset
+                         and abs(r.keep_ratio - keep) < 1e-12]
+                if match:
+                    m = match[0].metrics
+                    row += [f"{m.recall:.3f}", f"{m.precision:.3f}",
+                            f"{m.mae:.3f}", f"{m.rmse:.3f}"]
+                else:
+                    row += ["-", "-", "-", "-"]
+            rows.append(row)
+        blocks.append(_render(headers, rows, f"{title} [{dataset}]"))
+    return "\n".join(blocks)
+
+
+def ascii_scatter(points_by_label: dict[str, np.ndarray], width: int = 64,
+                  height: int = 24, title: str = "") -> str:
+    """ASCII scatter plot of labelled 2-D point sets (Figure 9 stand-in).
+
+    Each label's first character marks its points; later labels
+    overwrite earlier ones where they collide.
+    """
+    all_points = np.concatenate([p for p in points_by_label.values() if len(p)])
+    min_xy = all_points.min(axis=0)
+    max_xy = all_points.max(axis=0)
+    span = np.maximum(max_xy - min_xy, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+    for label, points in points_by_label.items():
+        marker = label[0]
+        for x, y in np.asarray(points):
+            col = int((x - min_xy[0]) / span[0] * (width - 1))
+            row = int((y - min_xy[1]) / span[1] * (height - 1))
+            canvas[height - 1 - row][col] = marker
+    legend = "  ".join(f"{label[0]}={label}" for label in points_by_label)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    lines.extend("|" + "".join(row) + "|" for row in canvas)
+    lines.append("+" + "-" * width + "+")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def format_curves(curves: dict[str, list[float]], title: str = "",
+                  width: int = 48) -> str:
+    """Sparkline-style convergence curves (per-round accuracy)."""
+    blocks = " .:-=+*#%@"
+    lines = [title] if title else []
+    for label, values in curves.items():
+        if not values:
+            lines.append(f"{label:>16}: (no data)")
+            continue
+        arr = np.asarray(values, dtype=float)
+        lo, hi = float(arr.min()), float(arr.max())
+        span = (hi - lo) or 1.0
+        chars = "".join(
+            blocks[int((v - lo) / span * (len(blocks) - 1))] for v in arr
+        )
+        lines.append(f"{label:>16}: {chars}  (first={arr[0]:.3f} last={arr[-1]:.3f})")
+    return "\n".join(lines)
+
+
+def _render(headers: list[str], rows: list[list[str]], title: str) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(r) for r in rows)
+    return "\n".join(parts)

@@ -1,0 +1,25 @@
+"""``repro.federated`` - client/server FedAvg orchestration for LightTR."""
+
+from .aggregation import average_states, fedavg
+from .client import ClientData, FederatedClient
+from .communication import CommunicationLedger, RoundCost
+from .privacy import GaussianMechanism
+from .server import FederatedServer
+from .trainer import (
+    FederatedConfig,
+    FederatedResult,
+    FederatedTrainer,
+    RoundRecord,
+    build_federation,
+    train_isolated_then_average,
+)
+
+__all__ = [
+    "average_states", "fedavg",
+    "ClientData", "FederatedClient",
+    "CommunicationLedger", "RoundCost",
+    "GaussianMechanism",
+    "FederatedServer",
+    "FederatedConfig", "FederatedTrainer", "FederatedResult", "RoundRecord",
+    "build_federation", "train_isolated_then_average",
+]

@@ -1,0 +1,56 @@
+"""Parameter aggregation rules.
+
+Algorithm 3 line 11 averages the uploaded client parameters uniformly
+(``theta_s <- sum 1/C theta_ci``); we also provide the data-weighted
+FedAvg variant of McMahan et al. [21], used by the baselines'
+``+FL`` wrappers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["average_states", "fedavg"]
+
+
+def average_states(states: list[dict], weights: list[float] | None = None
+                   ) -> "OrderedDict[str, np.ndarray]":
+    """Weighted average of state dicts (uniform when ``weights`` is None).
+
+    All states must share exactly the same keys and shapes; this is
+    validated so a mis-matched client model fails loudly.
+    """
+    if not states:
+        raise ValueError("cannot aggregate zero states")
+    keys = list(states[0].keys())
+    for i, state in enumerate(states[1:], start=1):
+        if list(state.keys()) != keys:
+            raise KeyError(f"client state {i} keys do not match client 0")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("need one weight per state")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("aggregation weights must sum to a positive value")
+
+    result: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for key in keys:
+        first = np.asarray(states[0][key], dtype=np.float64)
+        acc = np.zeros_like(first)
+        for state, w in zip(states, weights):
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != first.shape:
+                raise ValueError(f"shape mismatch for {key!r} during aggregation")
+            acc += (w / total) * value
+        result[key] = acc
+    return result
+
+
+def fedavg(states: list[dict], num_examples: list[int]) -> "OrderedDict[str, np.ndarray]":
+    """FedAvg: average weighted by each client's local example count."""
+    if any(n <= 0 for n in num_examples):
+        raise ValueError("example counts must be positive")
+    return average_states(states, [float(n) for n in num_examples])

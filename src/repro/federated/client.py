@@ -1,0 +1,86 @@
+"""A federated client (platform centre, paper Definition 7).
+
+Each client owns a private train/valid/test split of its local
+trajectories, a local recovery model, and a trainer.  During a round it
+downloads the global parameters, optionally computes its adaptive
+distillation weight against the shared teacher (Algorithm 2), trains
+locally, and uploads its parameters.  Raw trajectories never leave the
+client - only state dicts cross the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import RecoveryModel
+from ..core.distill import MetaKnowledgeDistiller
+from ..core.mask import ConstraintMaskBuilder
+from ..core.training import LocalTrainer, TrainingConfig
+from ..data.dataset import TrajectoryDataset
+
+__all__ = ["ClientData", "FederatedClient"]
+
+
+@dataclass(frozen=True)
+class ClientData:
+    """A client's private data splits."""
+
+    train: TrajectoryDataset
+    valid: TrajectoryDataset
+    test: TrajectoryDataset
+
+    @property
+    def num_train(self) -> int:
+        return len(self.train)
+
+
+class FederatedClient:
+    """One participant in the federation."""
+
+    def __init__(self, client_id: int, data: ClientData, model: RecoveryModel,
+                 mask_builder: ConstraintMaskBuilder, training: TrainingConfig,
+                 rng: np.random.Generator):
+        if data.num_train == 0:
+            raise ValueError(f"client {client_id} has no training data")
+        self.client_id = client_id
+        self.data = data
+        self.model = model
+        self.trainer = LocalTrainer(model, mask_builder, training, rng)
+
+    def receive_global(self, global_state: dict) -> None:
+        """Download the server's parameters (Algorithm 3 line 4)."""
+        self.model.load_state_dict(global_state)
+
+    def local_train(self, epochs: int,
+                    distiller: MetaKnowledgeDistiller | None = None
+                    ) -> tuple[dict, dict[str, float]]:
+        """Meta-knowledge enhanced local training (Algorithm 2).
+
+        Returns the uploaded state dict and a metrics dict containing
+        the mean local loss and the lambda that was used.
+        """
+        lam = 0.0
+        if distiller is not None and len(self.data.valid) > 0:
+            lam = distiller.lambda_for_client(self.model, self.data.valid)
+        losses = self.trainer.train_epochs(self.data.train, epochs=epochs,
+                                           distiller=distiller, lam=lam)
+        metrics = {
+            "loss": float(np.mean(losses)),
+            "lambda": lam,
+            "num_examples": float(self.data.num_train),
+        }
+        return self.model.state_dict(), metrics
+
+    def validation_accuracy(self) -> float:
+        """Segment accuracy on the client's validation split."""
+        if len(self.data.valid) == 0:
+            return 0.0
+        return self.trainer.segment_accuracy(self.data.valid)
+
+    def test_accuracy(self) -> float:
+        """Segment accuracy on the client's test split."""
+        if len(self.data.test) == 0:
+            return 0.0
+        return self.trainer.segment_accuracy(self.data.test)

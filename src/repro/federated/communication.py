@@ -1,0 +1,65 @@
+"""Communication-cost accounting.
+
+The paper argues communication cost correlates with model parameters
+and FLOPs [40, 41]; this ledger records the actual bytes shipped each
+round (server -> selected clients and back) so the efficiency
+experiments (Figure 5) can report measured traffic per method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nn.serialization import state_dict_num_bytes
+
+__all__ = ["RoundCost", "CommunicationLedger"]
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Traffic of one communication round."""
+
+    round_index: int
+    num_clients: int
+    bytes_down: int  # server -> clients (global model broadcast)
+    bytes_up: int  # clients -> server (local model uploads)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_down + self.bytes_up
+
+
+@dataclass
+class CommunicationLedger:
+    """Accumulates per-round communication costs."""
+
+    rounds: list[RoundCost] = field(default_factory=list)
+
+    def record_round(self, round_index: int, global_state: dict,
+                     uploaded_states: list[dict]) -> RoundCost:
+        """Record one round's broadcast + uploads and return its cost."""
+        down = state_dict_num_bytes(global_state) * len(uploaded_states)
+        up = sum(state_dict_num_bytes(s) for s in uploaded_states)
+        cost = RoundCost(
+            round_index=round_index,
+            num_clients=len(uploaded_states),
+            bytes_down=down,
+            bytes_up=up,
+        )
+        self.rounds.append(cost)
+        return cost
+
+    @property
+    def total_bytes(self) -> int:
+        """All traffic across all rounds."""
+        return sum(r.total_bytes for r in self.rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def bytes_per_round(self) -> float:
+        """Mean traffic per round (0.0 when nothing recorded)."""
+        if not self.rounds:
+            return 0.0
+        return self.total_bytes / len(self.rounds)

@@ -1,0 +1,45 @@
+"""The central server of the horizontal FL architecture.
+
+Holds the global model, samples a client fraction each round
+(Algorithm 3 line 2), and aggregates uploaded parameters (line 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import RecoveryModel
+from .aggregation import average_states
+
+__all__ = ["FederatedServer"]
+
+
+class FederatedServer:
+    """Orchestrates parameter exchange; never sees raw trajectories."""
+
+    def __init__(self, global_model: RecoveryModel):
+        self.global_model = global_model
+
+    def global_state(self) -> dict:
+        """The current global parameters (what gets broadcast)."""
+        return self.global_model.state_dict()
+
+    def select_clients(self, num_clients: int, fraction: float,
+                       rng: np.random.Generator) -> list[int]:
+        """Randomly sample ``ceil(fraction * num_clients)`` client ids."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"client fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(np.ceil(fraction * num_clients)))
+        picks = rng.choice(num_clients, size=min(count, num_clients), replace=False)
+        return sorted(int(i) for i in picks)
+
+    def aggregate(self, states: list[dict],
+                  weights: list[float] | None = None) -> dict:
+        """Average uploaded parameters into the global model.
+
+        The paper's Algorithm 3 uses the uniform mean; passing
+        ``weights`` gives example-count-weighted FedAvg instead.
+        """
+        new_state = average_states(states, weights)
+        self.global_model.load_state_dict(new_state)
+        return new_state

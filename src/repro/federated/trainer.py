@@ -1,0 +1,274 @@
+"""Federated training orchestration (paper Algorithm 3 + Section IV-C).
+
+:func:`build_federation` shards a synthetic world into per-client
+train/valid/test datasets (Non-IID by driver home region by default),
+and :class:`FederatedTrainer` runs the LightTR training loop:
+
+1. (optional) pre-train the teacher meta-learner cyclically over the
+   clients (Algorithm 1);
+2. for each communication round: sample a client fraction, broadcast
+   the global model, run meta-knowledge enhanced local training
+   (Algorithm 2) on each selected client, and aggregate (Algorithm 3);
+3. log per-round losses, accuracies, and communication bytes.
+
+The trainer is model-agnostic: pass a different ``model_factory`` to
+train any of the ``+FL`` baselines with the identical protocol (the
+paper's FC+FL / RNN+FL / MTrajRec+FL / RNTrajRec+FL setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.base import RecoveryModel
+from ..core.distill import MetaKnowledgeDistiller
+from ..core.mask import ConstraintMaskBuilder
+from ..core.teacher import TeacherConfig, TeacherTrainingResult, train_teacher
+from ..core.training import TrainingConfig, model_segment_accuracy
+from ..data.dataset import TrajectoryDataset
+from ..data.partition import partition_dataset
+from ..data.synthetic import SyntheticDataset
+from .client import ClientData, FederatedClient
+from .communication import CommunicationLedger
+from .server import FederatedServer
+
+__all__ = ["FederatedConfig", "RoundRecord", "FederatedResult",
+           "build_federation", "FederatedTrainer", "train_isolated_then_average"]
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Knobs of the federated run (Algorithm 3 inputs)."""
+
+    rounds: int = 10
+    client_fraction: float = 1.0
+    local_epochs: int = 2
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    use_meta: bool = True  # the meta-knowledge module (w/o Meta ablation: False)
+    teacher: TeacherConfig = field(default_factory=TeacherConfig)
+    lambda0: float = 5.0
+    lt: float = 0.4
+    dynamic_lambda: bool = True  # False = fixed lambda0 (design ablation)
+    aggregation: str = "uniform"  # "uniform" (Alg. 3) or "fedavg" (weighted)
+
+    def __post_init__(self):
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+        if not 0.0 < self.client_fraction <= 1.0:
+            raise ValueError("client_fraction must be in (0, 1]")
+        if self.aggregation not in ("uniform", "fedavg"):
+            raise ValueError(f"unknown aggregation {self.aggregation!r}")
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """History entry for one communication round."""
+
+    round_index: int
+    selected_clients: tuple[int, ...]
+    mean_loss: float
+    mean_lambda: float
+    global_accuracy: float
+
+
+@dataclass
+class FederatedResult:
+    """Everything a run produced."""
+
+    global_model: RecoveryModel
+    history: list[RoundRecord]
+    ledger: CommunicationLedger
+    teacher_result: TeacherTrainingResult | None
+    clients: list[FederatedClient]
+    global_test: TrajectoryDataset
+
+
+def build_federation(dataset: SyntheticDataset, num_clients: int,
+                     keep_ratio: float, scheme: str = "by_driver",
+                     rng: np.random.Generator | None = None,
+                     split: tuple[float, float, float] = (0.7, 0.2, 0.1),
+                     ) -> tuple[list[ClientData], TrajectoryDataset]:
+    """Shard a synthetic world into clients and a pooled test set.
+
+    Each client's trajectories are split 7:2:1 (the paper's ratio); the
+    pooled test set is the union of the clients' test splits, which is
+    what the global model is evaluated on.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    shards = partition_dataset(dataset, num_clients, scheme=scheme, rng=rng)
+    clients: list[ClientData] = []
+    pooled_test = []
+    for shard in shards:
+        tds = TrajectoryDataset.from_matched(shard, dataset.grid, dataset.network,
+                                             keep_ratio)
+        train, valid, test = tds.split(split, rng=rng)
+        if len(train) == 0:
+            raise ValueError("a client received no training data; use more "
+                             "trajectories or fewer clients")
+        if len(valid) == 0:  # tiny shards: reuse train as valid
+            valid = train
+        clients.append(ClientData(train=train, valid=valid, test=test))
+        pooled_test.extend(test.examples)
+    if not pooled_test:
+        # Fall back to validation examples so evaluation is never empty.
+        for c in clients:
+            pooled_test.extend(c.valid.examples)
+    global_test = TrajectoryDataset(pooled_test, dataset.grid, dataset.network,
+                                    keep_ratio)
+    return clients, global_test
+
+
+class FederatedTrainer:
+    """Runs LightTR federated training end to end."""
+
+    def __init__(self, model_factory: Callable[[], RecoveryModel],
+                 client_data: list[ClientData],
+                 mask_builder: ConstraintMaskBuilder,
+                 config: FederatedConfig,
+                 global_test: TrajectoryDataset,
+                 seed: int = 0,
+                 privatizer=None):
+        if not client_data:
+            raise ValueError("need at least one client")
+        self.model_factory = model_factory
+        self.mask_builder = mask_builder
+        self.config = config
+        self.global_test = global_test
+        self.privatizer = privatizer  # optional GaussianMechanism
+        self._rng = np.random.default_rng(seed)
+
+        self.server = FederatedServer(model_factory())
+        self.clients = [
+            FederatedClient(
+                client_id=i, data=data, model=model_factory(),
+                mask_builder=mask_builder, training=config.training,
+                rng=np.random.default_rng(seed + 101 + i),
+            )
+            for i, data in enumerate(client_data)
+        ]
+
+    # ------------------------------------------------------------------
+    # the full pipeline
+    # ------------------------------------------------------------------
+    def run(self) -> FederatedResult:
+        """Teacher pre-training (optional) + Algorithm 3 rounds."""
+        teacher_result = None
+        distiller = None
+        if self.config.use_meta:
+            teacher_result = self._train_teacher()
+            distiller = MetaKnowledgeDistiller(
+                teacher_result.teacher, self.mask_builder,
+                lambda0=self.config.lambda0, lt=self.config.lt,
+                dynamic=self.config.dynamic_lambda,
+            )
+
+        ledger = CommunicationLedger()
+        history: list[RoundRecord] = []
+        for round_index in range(self.config.rounds):
+            record = self._run_round(round_index, distiller, ledger)
+            history.append(record)
+
+        return FederatedResult(
+            global_model=self.server.global_model,
+            history=history,
+            ledger=ledger,
+            teacher_result=teacher_result,
+            clients=self.clients,
+            global_test=self.global_test,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _train_teacher(self) -> TeacherTrainingResult:
+        splits = [(c.data.train, c.data.valid) for c in self.clients]
+        teacher_config = TeacherConfig(
+            lt=self.config.lt,
+            epochs_per_client=self.config.teacher.epochs_per_client,
+            cycles=self.config.teacher.cycles,
+            subset_fraction=self.config.teacher.subset_fraction,
+            training=self.config.training,
+        )
+        return train_teacher(self.model_factory, splits, self.mask_builder,
+                             teacher_config, self._rng)
+
+    def _run_round(self, round_index: int,
+                   distiller: MetaKnowledgeDistiller | None,
+                   ledger: CommunicationLedger) -> RoundRecord:
+        selected = self.server.select_clients(
+            len(self.clients), self.config.client_fraction, self._rng
+        )
+        global_state = self.server.global_state()
+        uploaded: list[dict] = []
+        weights: list[float] = []
+        losses: list[float] = []
+        lambdas: list[float] = []
+        for client_id in selected:
+            client = self.clients[client_id]
+            client.receive_global(global_state)
+            state, metrics = client.local_train(
+                epochs=self.config.local_epochs, distiller=distiller
+            )
+            if self.privatizer is not None:
+                state = self.privatizer.privatize_update(state, global_state)
+            uploaded.append(state)
+            weights.append(metrics["num_examples"])
+            losses.append(metrics["loss"])
+            lambdas.append(metrics["lambda"])
+
+        agg_weights = weights if self.config.aggregation == "fedavg" else None
+        self.server.aggregate(uploaded, agg_weights)
+        ledger.record_round(round_index, global_state, uploaded)
+
+        accuracy = model_segment_accuracy(
+            self.server.global_model, self.mask_builder, self.global_test
+        )
+        return RoundRecord(
+            round_index=round_index,
+            selected_clients=tuple(selected),
+            mean_loss=float(np.mean(losses)),
+            mean_lambda=float(np.mean(lambdas)),
+            global_accuracy=accuracy,
+        )
+
+
+def train_isolated_then_average(model_factory: Callable[[], RecoveryModel],
+                                client_data: list[ClientData],
+                                mask_builder: ConstraintMaskBuilder,
+                                config: FederatedConfig,
+                                global_test: TrajectoryDataset,
+                                seed: int = 0) -> FederatedResult:
+    """The "w/o FL" ablation: no server, clients train in isolation and
+    exchange final models pairwise (implemented as one final average).
+
+    Matches the paper's Figure 7 variant where the central server is
+    removed and clients swap their local models with each other.
+    """
+    trainer = FederatedTrainer(model_factory, client_data, mask_builder,
+                               config, global_test, seed=seed)
+    total_epochs = config.rounds * config.local_epochs
+    states, losses = [], []
+    for client in trainer.clients:
+        epoch_losses = client.trainer.train_epochs(client.data.train,
+                                                   epochs=total_epochs)
+        states.append(client.model.state_dict())
+        losses.append(float(np.mean(epoch_losses)))
+    trainer.server.aggregate(states)
+    ledger = CommunicationLedger()
+    # One exchange at the end: every client ships its model to the others.
+    ledger.record_round(0, trainer.server.global_state(), states)
+    accuracy = model_segment_accuracy(trainer.server.global_model, mask_builder,
+                                      global_test)
+    history = [RoundRecord(0, tuple(range(len(trainer.clients))),
+                           float(np.mean(losses)), 0.0, accuracy)]
+    return FederatedResult(
+        global_model=trainer.server.global_model,
+        history=history,
+        ledger=ledger,
+        teacher_result=None,
+        clients=trainer.clients,
+        global_test=global_test,
+    )

@@ -1,0 +1,5 @@
+"""``repro.mapmatch`` - HMM map matching of raw GPS onto road networks."""
+
+from .hmm import HMMMapMatcher, MatchCandidate
+
+__all__ = ["HMMMapMatcher", "MatchCandidate"]

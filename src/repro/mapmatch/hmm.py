@@ -1,0 +1,151 @@
+"""HMM (Viterbi) map matching.
+
+The paper preprocesses raw GPS with the HMM map matcher of DHN [26]
+(the classic Newson-Krumm formulation): emission probabilities penalise
+the GPS-to-segment distance, transition probabilities penalise the
+difference between the straight-line displacement and the road-network
+route distance, and Viterbi decoding picks the jointly most likely
+segment sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..spatial.geometry import Point
+from ..spatial.index import SegmentIndex
+from ..spatial.roadnet import RoadNetwork
+from ..data.trajectory import MatchedPoint, MatchedTrajectory, RawTrajectory
+
+__all__ = ["HMMMapMatcher", "MatchCandidate"]
+
+
+@dataclass(frozen=True)
+class MatchCandidate:
+    """One candidate match for a GPS point."""
+
+    segment_id: int
+    ratio: float
+    distance: float  # GPS point to matched position, metres
+    position: Point
+
+
+class HMMMapMatcher:
+    """Newson-Krumm style HMM map matcher over a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network to match onto.
+    sigma:
+        GPS noise standard deviation in metres (emission model).
+    beta:
+        Scale of the transition penalty (metres); larger tolerates more
+        detour between consecutive points.
+    search_radius:
+        Candidate search radius around each GPS point, metres.
+    max_candidates:
+        Keep at most this many nearest candidates per point.
+    """
+
+    def __init__(self, network: RoadNetwork, sigma: float = 15.0,
+                 beta: float = 40.0, search_radius: float = 60.0,
+                 max_candidates: int = 6,
+                 index: SegmentIndex | None = None):
+        if sigma <= 0 or beta <= 0 or search_radius <= 0:
+            raise ValueError("sigma, beta and search_radius must be positive")
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self.network = network
+        self.sigma = sigma
+        self.beta = beta
+        self.search_radius = search_radius
+        self.max_candidates = max_candidates
+        self.index = index if index is not None else SegmentIndex(network)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def candidates_for(self, point: Point) -> list[MatchCandidate]:
+        """Candidate matched positions for one GPS point."""
+        found = self.index.query(point, self.search_radius)
+        candidates = []
+        for seg, _ in found[: self.max_candidates]:
+            matched, ratio, dist = seg.project(point)
+            candidates.append(
+                MatchCandidate(seg.segment_id, ratio, dist, matched)
+            )
+        return candidates
+
+    def match(self, raw: RawTrajectory) -> MatchedTrajectory:
+        """Match a raw trajectory onto the network via Viterbi decoding."""
+        points = [p.as_point() for p in raw.points]
+        layers = [self.candidates_for(p) for p in points]
+        empty = [i for i, layer in enumerate(layers) if not layer]
+        if empty:
+            raise ValueError(f"no match candidates for points {empty}")
+
+        chosen = self._viterbi(points, layers)
+
+        t0 = raw.points[0].t
+        epsilon = self._estimate_epsilon(raw)
+        matched_points = []
+        for i, cand in enumerate(chosen):
+            t = raw.points[i].t
+            tid = int(math.floor((t - t0) / epsilon + 0.5))
+            matched_points.append(
+                MatchedPoint(cand.segment_id, cand.ratio, t, tid)
+            )
+        return MatchedTrajectory(
+            traj_id=raw.traj_id, driver_id=raw.driver_id,
+            epsilon=epsilon, points=tuple(matched_points),
+        )
+
+    # ------------------------------------------------------------------
+    # model internals
+    # ------------------------------------------------------------------
+    def emission_logprob(self, candidate: MatchCandidate) -> float:
+        """Gaussian log-likelihood of the GPS error."""
+        return -0.5 * (candidate.distance / self.sigma) ** 2
+
+    def transition_logprob(self, prev: MatchCandidate, curr: MatchCandidate,
+                           straight: float) -> float:
+        """Exponential penalty on |route distance - straight distance|."""
+        route = self.network.route_distance(
+            prev.segment_id, prev.ratio, curr.segment_id, curr.ratio
+        )
+        if math.isinf(route):
+            return -1e12
+        return -abs(route - straight) / self.beta
+
+    def _viterbi(self, points: list[Point],
+                 layers: list[list[MatchCandidate]]) -> list[MatchCandidate]:
+        n = len(layers)
+        scores = np.array([self.emission_logprob(c) for c in layers[0]])
+        back: list[np.ndarray] = []
+        for i in range(1, n):
+            straight = points[i - 1].distance_to(points[i])
+            prev_layer, curr_layer = layers[i - 1], layers[i]
+            trans = np.empty((len(prev_layer), len(curr_layer)))
+            for a, prev in enumerate(prev_layer):
+                for b, curr in enumerate(curr_layer):
+                    trans[a, b] = self.transition_logprob(prev, curr, straight)
+            emit = np.array([self.emission_logprob(c) for c in curr_layer])
+            total = scores[:, None] + trans + emit[None, :]
+            back.append(np.argmax(total, axis=0))
+            scores = np.max(total, axis=0)
+
+        path = [int(np.argmax(scores))]
+        for pointers in reversed(back):
+            path.append(int(pointers[path[-1]]))
+        path.reverse()
+        return [layers[i][k] for i, k in enumerate(path)]
+
+    @staticmethod
+    def _estimate_epsilon(raw: RawTrajectory) -> float:
+        """Median inter-point interval (the nominal sampling rate)."""
+        times = np.array([p.t for p in raw.points])
+        return float(np.median(np.diff(times)))

@@ -1,0 +1,18 @@
+"""``repro.metrics`` - accuracy, distance error, and efficiency metrics."""
+
+from .accuracy import pointwise_accuracy, recall_precision
+from .distance import mae_rmse, point_distance
+from .efficiency import EfficiencyReport, measure_epoch_seconds, profile_model
+from .evaluation import (
+    MetricRow,
+    evaluate_model,
+    evaluate_per_client,
+    heterogeneity_summary,
+)
+
+__all__ = [
+    "recall_precision", "pointwise_accuracy",
+    "mae_rmse", "point_distance",
+    "MetricRow", "evaluate_model", "evaluate_per_client", "heterogeneity_summary",
+    "EfficiencyReport", "profile_model", "measure_epoch_seconds",
+]

@@ -1,0 +1,56 @@
+"""Route recovery accuracy: Recall and Precision (paper Eq. 19).
+
+The recovered road segments ``PR`` of each trajectory are compared as a
+set against the ground-truth segments ``G`` of the points that had to
+be recovered; recall is ``|PR & G| / |G|`` and precision is
+``|PR & G| / |PR|``, averaged over trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_precision", "pointwise_accuracy"]
+
+
+def recall_precision(pred_segments: np.ndarray, true_segments: np.ndarray,
+                     eval_mask: np.ndarray) -> tuple[float, float]:
+    """Mean per-trajectory recall and precision of recovered segments.
+
+    Parameters
+    ----------
+    pred_segments, true_segments:
+        Integer arrays of shape ``(B, T)``.
+    eval_mask:
+        Boolean ``(B, T)``; True marks the recovered (missing, valid)
+        points that enter the comparison.
+    """
+    pred_segments = np.asarray(pred_segments)
+    true_segments = np.asarray(true_segments)
+    eval_mask = np.asarray(eval_mask, dtype=bool)
+    if pred_segments.shape != true_segments.shape or pred_segments.shape != eval_mask.shape:
+        raise ValueError("pred, true, and mask shapes must match")
+
+    recalls, precisions = [], []
+    for i in range(pred_segments.shape[0]):
+        mask = eval_mask[i]
+        if not mask.any():
+            continue
+        predicted = set(int(s) for s in pred_segments[i][mask])
+        truth = set(int(s) for s in true_segments[i][mask])
+        overlap = len(predicted & truth)
+        recalls.append(overlap / len(truth))
+        precisions.append(overlap / len(predicted))
+    if not recalls:
+        raise ValueError("evaluation mask selected no points")
+    return float(np.mean(recalls)), float(np.mean(precisions))
+
+
+def pointwise_accuracy(pred_segments: np.ndarray, true_segments: np.ndarray,
+                       eval_mask: np.ndarray) -> float:
+    """Fraction of masked points whose segment is exactly right."""
+    eval_mask = np.asarray(eval_mask, dtype=bool)
+    if not eval_mask.any():
+        raise ValueError("evaluation mask selected no points")
+    correct = np.asarray(pred_segments) == np.asarray(true_segments)
+    return float(correct[eval_mask].mean())

@@ -1,0 +1,75 @@
+"""Efficiency accounting: running time, FLOPs, parameters (Figure 5).
+
+Wall-clock epoch time is measured on the actual trainer; FLOPs and
+parameter counts come from the analytic model in :mod:`repro.nn.flops`.
+Communication cost per round follows from the parameter payload (the
+paper notes communication cost is positively correlated with parameters
+and FLOPs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.base import RecoveryModel
+from ..core.training import LocalTrainer
+from ..data.dataset import TrajectoryDataset
+from ..nn.flops import count_parameters, estimate_flops
+from ..nn.serialization import state_dict_num_bytes
+
+__all__ = ["EfficiencyReport", "profile_model", "measure_epoch_seconds"]
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """One bar group of Figure 5 for one method."""
+
+    name: str
+    parameters: int
+    flops: float
+    epoch_seconds: float
+    payload_bytes: int
+
+    @property
+    def parameters_m(self) -> float:
+        """Parameters in millions (Figure 5b right axis)."""
+        return self.parameters / 1e6
+
+    @property
+    def flops_m(self) -> float:
+        """FLOPs in millions (Figure 5b left axis)."""
+        return self.flops / 1e6
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.epoch_seconds:.3f}s/epoch, "
+                f"{self.flops_m:.3f}M FLOPs, {self.parameters_m:.4f}M params, "
+                f"{self.payload_bytes / 1024:.1f} KiB/round")
+
+
+def measure_epoch_seconds(trainer: LocalTrainer, dataset: TrajectoryDataset,
+                          repeats: int = 1) -> float:
+    """Median wall-clock seconds of one training epoch."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        trainer.train_epoch(dataset)
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def profile_model(name: str, model: RecoveryModel, trainer: LocalTrainer,
+                  dataset: TrajectoryDataset, seq_len: int,
+                  repeats: int = 1) -> EfficiencyReport:
+    """Measure one method's full efficiency row."""
+    seconds = measure_epoch_seconds(trainer, dataset, repeats=repeats)
+    return EfficiencyReport(
+        name=name,
+        parameters=count_parameters(model),
+        flops=estimate_flops(model, seq_len=seq_len),
+        epoch_seconds=seconds,
+        payload_bytes=state_dict_num_bytes(model.state_dict()),
+    )

@@ -1,0 +1,51 @@
+"""``repro.nn`` - a NumPy autograd + neural network substrate.
+
+This package replaces PyTorch for this reproduction: a tape-based
+autodiff :class:`~repro.nn.tensor.Tensor`, module/parameter containers
+with federated-friendly ``state_dict`` support, feed-forward and
+recurrent layers, attention (for the baselines), losses, and optimisers.
+"""
+
+from .attention import AdditiveAttention, SelfAttention, scaled_dot_product_attention
+from .flops import CostReport, count_parameters, estimate_flops, st_operator_complexity
+from .functional import (
+    concat,
+    dropout,
+    embedding_lookup,
+    log_softmax,
+    pad_sequences,
+    softmax,
+    stack,
+    where_mask,
+)
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Sigmoid, Tanh
+from .loss import cross_entropy, distillation_loss, l1_loss, mse_loss, nll_from_log_probs
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .recurrent import GRU, LSTM, GRUCell, LSTMCell, RNN, RNNCell
+from .serialization import load_state_dict, save_state_dict, state_dict_num_bytes
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
+
+__all__ = [
+    # tensor
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "zeros", "ones", "randn",
+    # functional
+    "concat", "stack", "softmax", "log_softmax", "embedding_lookup", "dropout",
+    "where_mask", "pad_sequences",
+    # module system
+    "Module", "ModuleList", "Parameter", "Sequential",
+    # layers
+    "Linear", "Embedding", "Dropout", "ReLU", "Tanh", "Sigmoid", "LayerNorm", "MLP",
+    # recurrent
+    "RNN", "RNNCell", "GRU", "GRUCell", "LSTM", "LSTMCell",
+    # attention
+    "AdditiveAttention", "SelfAttention", "scaled_dot_product_attention",
+    # losses
+    "cross_entropy", "nll_from_log_probs", "mse_loss", "l1_loss", "distillation_loss",
+    # optim
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    # costs
+    "CostReport", "count_parameters", "estimate_flops", "st_operator_complexity",
+    # serialization
+    "save_state_dict", "load_state_dict", "state_dict_num_bytes",
+]

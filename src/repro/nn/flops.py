@@ -1,0 +1,126 @@
+"""Analytic FLOPs and parameter accounting (paper Table II / Figure 5).
+
+The paper compares ST-operator families by time/space complexity
+(Table II) and reports FLOPs and parameter counts for whole models
+(Figure 5b).  We compute parameters exactly from the module tree, and
+FLOPs analytically per layer type for a given sequence length, so the
+efficiency benchmark regenerates the figure without a profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .attention import AdditiveAttention, SelfAttention
+from .layers import Embedding, Linear
+from .module import Module
+from .recurrent import GRU, LSTM, GRUCell, LSTMCell, RNN, RNNCell
+
+__all__ = ["CostReport", "count_parameters", "estimate_flops", "st_operator_complexity"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Computed cost of running a model over a workload."""
+
+    parameters: int
+    flops: float
+
+    @property
+    def parameters_m(self) -> float:
+        """Parameters in millions (the unit of Figure 5b)."""
+        return self.parameters / 1e6
+
+    @property
+    def flops_m(self) -> float:
+        """FLOPs in millions (the unit of Figure 5b)."""
+        return self.flops / 1e6
+
+
+def count_parameters(model: Module) -> int:
+    """Exact scalar weight count of a module tree."""
+    return model.num_parameters()
+
+
+def _linear_flops(layer: Linear) -> float:
+    # One multiply-accumulate per weight, plus bias adds.
+    flops = 2.0 * layer.in_features * layer.out_features
+    if layer.bias is not None:
+        flops += layer.out_features
+    return flops
+
+
+def _cell_flops(cell) -> float:
+    if isinstance(cell, LSTMCell):
+        joint = cell.input_size + cell.hidden_size
+        # Four gate matmuls + elementwise cell arithmetic.
+        return 4 * (2.0 * joint * cell.hidden_size + cell.hidden_size) + 12.0 * cell.hidden_size
+    if isinstance(cell, GRUCell):
+        joint = cell.input_size + cell.hidden_size
+        # Three gate matmuls + elementwise gate arithmetic.
+        return 3 * (2.0 * joint * cell.hidden_size + cell.hidden_size) + 10.0 * cell.hidden_size
+    if isinstance(cell, RNNCell):
+        return (2.0 * cell.input_size * cell.hidden_size
+                + 2.0 * cell.hidden_size * cell.hidden_size + 2.0 * cell.hidden_size)
+    raise TypeError(f"unknown recurrent cell {type(cell)!r}")
+
+
+def estimate_flops(model: Module, seq_len: int, batch: int = 1) -> float:
+    """Estimate forward-pass FLOPs for ``batch`` sequences of ``seq_len`` steps.
+
+    Recurrent layers and attention scale with ``seq_len``; feed-forward
+    layers are assumed to run once per timestep (the decoding loop), which
+    matches how every model in this repository uses them.
+    """
+    if seq_len <= 0 or batch <= 0:
+        raise ValueError("seq_len and batch must be positive")
+    total = 0.0
+    wrapped_cells: set[int] = set()  # cells owned by a sequence wrapper
+    for module in _walk(model):
+        if isinstance(module, Linear):
+            total += _linear_flops(module) * seq_len * batch
+        elif isinstance(module, Embedding):
+            total += module.embedding_dim * seq_len * batch  # gather + scale
+        elif isinstance(module, (GRU, RNN, LSTM)):
+            wrapped_cells.add(id(module.cell))
+            total += _cell_flops(module.cell) * seq_len * batch
+        elif isinstance(module, (GRUCell, RNNCell, LSTMCell)):
+            if id(module) in wrapped_cells:
+                continue  # already accounted via its wrapper
+            total += _cell_flops(module) * seq_len * batch
+        elif isinstance(module, AdditiveAttention):
+            h = module.hidden_size
+            # Per decode step: score every encoder state -> O(T * H^2).
+            total += (4.0 * h * h + 3.0 * h) * seq_len * seq_len * batch
+        elif isinstance(module, SelfAttention):
+            h = module.hidden_size
+            # QKV projections + T^2 score matrix + FF, per sequence.
+            total += (3 * 2.0 * h * h * seq_len + 2.0 * seq_len * seq_len * h
+                      + 2 * 2.0 * h * (2 * h) * seq_len) * batch
+    return total
+
+
+def _walk(module: Module):
+    yield module
+    for child in module._modules.values():
+        yield from _walk(child)
+
+
+def st_operator_complexity(kind: str, n: int, length: int, dim: int) -> dict[str, float]:
+    """Table II: asymptotic time/space cost of a base ST-operator family.
+
+    Parameters mirror the paper: ``n`` trajectories, max length
+    ``length``, embedding size ``dim``.  Returns dominant-term counts
+    (not wall clock) so the relative ordering of the table is testable.
+    """
+    kind = kind.lower()
+    if kind == "cnn":
+        return {"time": dim**2 * n * length, "space": float(dim**2)}
+    if kind == "rnn":
+        return {"time": dim**2 * n * length, "space": float(dim**2)}
+    if kind in ("attn", "attention"):
+        return {"time": dim**2 * n * length * (dim + length), "space": float(dim**2)}
+    if kind in ("mlp", "light", "lightweight"):
+        # The paper's lightweight operator: O(N (L + D)) time, O(L + D + 1) space.
+        return {"time": float(n * (length + dim)), "space": float(length + dim + 1)}
+    raise ValueError(f"unknown ST-operator kind {kind!r}")

@@ -1,0 +1,153 @@
+"""Composite differentiable operations built on :mod:`repro.nn.tensor`.
+
+These are the ops that do not belong on the :class:`~repro.nn.tensor.Tensor`
+class itself: multi-input ops (``concat``, ``stack``), numerically
+stabilised softmax variants, and indexing helpers used by embedding
+layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, _node, as_tensor
+
+__all__ = [
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "embedding_lookup",
+    "dropout",
+    "where_mask",
+    "pad_sequences",
+]
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, stage):
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            stage(tensor, grad[tuple(index)])
+
+    return _node(data, tuple(tensors), backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, stage):
+        grad = np.asarray(grad)
+        for i, tensor in enumerate(tensors):
+            index = [slice(None)] * grad.ndim
+            index[axis] = i
+            stage(tensor, grad[tuple(index)])
+
+    return _node(data, tuple(tensors), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad, stage):
+        grad = np.asarray(grad)
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        stage(x, out_data * (grad - dot))
+
+    return _node(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    soft = np.exp(out_data)
+
+    def backward(grad, stage):
+        grad = np.asarray(grad)
+        stage(x, grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return _node(out_data, (x,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``weight[indices]`` with scatter-add gradient.
+
+    Parameters
+    ----------
+    weight:
+        ``(vocab, dim)`` embedding matrix.
+    indices:
+        Integer array of any shape; result has shape ``indices.shape + (dim,)``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+
+    def backward(grad, stage):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), np.asarray(grad).reshape(-1, weight.data.shape[1]))
+        stage(weight, full)
+
+    return _node(weight.data[indices], (weight,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` in training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(grad, stage):
+        stage(x, np.asarray(grad) * keep)
+
+    return _node(x.data * keep, (x,), backward)
+
+
+def where_mask(mask: np.ndarray, x: Tensor, fill: float) -> Tensor:
+    """Differentiable ``np.where(mask, x, fill)`` with a constant fill.
+
+    Used by the constraint-mask layer to suppress logits of road segments
+    that are too far from the observed trajectory.
+    """
+    mask = np.asarray(mask, dtype=bool)
+
+    def backward(grad, stage):
+        stage(x, np.asarray(grad) * mask)
+
+    return _node(np.where(mask, x.data, fill), (x,), backward)
+
+
+def pad_sequences(arrays: list[np.ndarray], pad_value: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Pad a list of ``(T_i, ...)`` arrays to ``(N, T_max, ...)``.
+
+    Returns the padded batch and a boolean validity mask of shape
+    ``(N, T_max)``.  This is a plain-NumPy helper (no gradients) used by
+    the batching code.
+    """
+    if not arrays:
+        raise ValueError("pad_sequences() needs at least one sequence")
+    max_len = max(a.shape[0] for a in arrays)
+    trailing = arrays[0].shape[1:]
+    batch = np.full((len(arrays), max_len, *trailing), pad_value, dtype=np.asarray(arrays[0]).dtype)
+    mask = np.zeros((len(arrays), max_len), dtype=bool)
+    for i, a in enumerate(arrays):
+        batch[i, : a.shape[0]] = a
+        mask[i, : a.shape[0]] = True
+    return batch, mask

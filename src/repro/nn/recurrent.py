@@ -1,0 +1,187 @@
+"""Recurrent layers: vanilla RNN cell, GRU cell, and sequence wrappers.
+
+The LightTR embedding model is a GRU over the observed trajectory
+(paper Eq. 5-6); the lightweight ST-operator uses a single RNN layer
+(paper Eq. 7).  Both are implemented here on the autograd substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .functional import concat, stack
+from .module import Module, Parameter
+from .tensor import Tensor, zeros
+
+__all__ = ["RNNCell", "GRUCell", "LSTMCell", "RNN", "GRU", "LSTM"]
+
+
+class RNNCell(Module):
+    """Elman RNN cell: ``h' = tanh(x @ W_x + h @ W_h + b)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(initializers.xavier_uniform((input_size, hidden_size), rng))
+        self.w_h = Parameter(initializers.orthogonal((hidden_size, hidden_size), rng))
+        self.bias = Parameter(initializers.zeros_init((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        return (x @ self.w_x + h @ self.w_h + self.bias).tanh()
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero hidden state of shape ``(batch, hidden)``."""
+        return zeros(batch, self.hidden_size)
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (paper Eq. 5).
+
+    ``r = sigma(W_r [h, x] + b_r)``; ``z = sigma(W_z [h, x] + b_z)``;
+    ``h~ = tanh(W_h [r*h, x] + b_h)``; ``h' = (1-z)*h + z*h~``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        joint = input_size + hidden_size
+        self.w_r = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.w_z = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.w_h = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.b_r = Parameter(initializers.zeros_init((hidden_size,)))
+        self.b_z = Parameter(initializers.zeros_init((hidden_size,)))
+        self.b_h = Parameter(initializers.zeros_init((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hx = concat([h, x], axis=-1)
+        r = (hx @ self.w_r + self.b_r).sigmoid()
+        z = (hx @ self.w_z + self.b_z).sigmoid()
+        rhx = concat([r * h, x], axis=-1)
+        h_tilde = (rhx @ self.w_h + self.b_h).tanh()
+        return (1.0 - z) * h + z * h_tilde
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero hidden state of shape ``(batch, hidden)``."""
+        return zeros(batch, self.hidden_size)
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell (encoder-ablation alternative to GRU).
+
+    The hidden state is carried as the concatenation ``[h, c]`` of the
+    output and cell states so LSTM plugs into the same sequence driver
+    as the other cells; ``initial_state`` returns ``(batch, 2H)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        joint = input_size + hidden_size
+        self.w_i = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.w_f = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.w_o = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.w_g = Parameter(initializers.xavier_uniform((joint, hidden_size), rng))
+        self.b_i = Parameter(initializers.zeros_init((hidden_size,)))
+        # Forget-gate bias starts at 1: the standard trick for gradient flow.
+        self.b_f = Parameter(np.ones(hidden_size))
+        self.b_o = Parameter(initializers.zeros_init((hidden_size,)))
+        self.b_g = Parameter(initializers.zeros_init((hidden_size,)))
+
+    def forward(self, x: Tensor, state: Tensor) -> Tensor:
+        h = state[:, : self.hidden_size]
+        c = state[:, self.hidden_size :]
+        hx = concat([h, x], axis=-1)
+        i = (hx @ self.w_i + self.b_i).sigmoid()
+        f = (hx @ self.w_f + self.b_f).sigmoid()
+        o = (hx @ self.w_o + self.b_o).sigmoid()
+        g = (hx @ self.w_g + self.b_g).tanh()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return concat([h_next, c_next], axis=-1)
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero ``[h, c]`` state of shape ``(batch, 2 * hidden)``."""
+        return zeros(batch, 2 * self.hidden_size)
+
+
+class _SequenceRNN(Module):
+    """Shared driver that unrolls a cell over a ``(B, T, D)`` input."""
+
+    cell: Module
+
+    def forward(self, x: Tensor, h0: Tensor | None = None,
+                mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        """Run the cell over time.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(B, T, D)``.
+        h0:
+            Optional initial state ``(B, H)``.
+        mask:
+            Optional boolean validity mask ``(B, T)``; where false, the
+            hidden state is carried through unchanged (padding steps).
+
+        Returns
+        -------
+        (outputs, last_state):
+            ``outputs`` is ``(B, T, H)`` of per-step hidden states and
+            ``last_state`` is the final ``(B, H)`` state.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected (B, T, D) input, got shape {x.shape}")
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else self.cell.initial_state(batch)
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            xt = x[:, t, :]
+            h_next = self.cell(xt, h)
+            if mask is not None:
+                keep = mask[:, t : t + 1].astype(np.float64)
+                h = h_next * keep + h * (1.0 - keep)
+            else:
+                h = h_next
+            outputs.append(h)
+        return stack(outputs, axis=1), h
+
+
+class RNN(_SequenceRNN):
+    """Unrolled Elman RNN over a batch of sequences."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = RNNCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+
+class GRU(_SequenceRNN):
+    """Unrolled GRU over a batch of sequences (the LTE embedding model)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+
+class LSTM(_SequenceRNN):
+    """Unrolled LSTM; exposes only the ``h`` part of the state.
+
+    Outputs and the final state have width ``hidden_size`` like the
+    other wrappers (the internal cell state stays private), so LSTM is
+    a drop-in encoder replacement for the GRU ablation.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, h0: Tensor | None = None,
+                mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        outputs, last = super().forward(x, h0=h0, mask=mask)
+        return outputs[:, :, : self.hidden_size], last[:, : self.hidden_size]

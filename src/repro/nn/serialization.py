@@ -1,0 +1,39 @@
+"""Saving and loading model weights (``.npz`` state dicts).
+
+Federated clients ship state dicts in memory; this module adds the
+disk format used by examples and by checkpointing in long benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "state_dict_num_bytes"]
+
+
+def save_state_dict(model_or_state, path: str) -> None:
+    """Write a model's parameters to ``path`` as a compressed ``.npz``."""
+    state = model_or_state.state_dict() if isinstance(model_or_state, Module) else model_or_state
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state_dict(path: str) -> "OrderedDict[str, np.ndarray]":
+    """Read a state dict written by :func:`save_state_dict`."""
+    with np.load(path) as payload:
+        return OrderedDict((k, payload[k]) for k in payload.files)
+
+
+def state_dict_num_bytes(state: dict) -> int:
+    """Size of a state dict on the wire (float64 payload bytes).
+
+    This is the per-round upload/download cost accounted by
+    :mod:`repro.federated.communication`.
+    """
+    return int(sum(np.asarray(v).nbytes for v in state.values()))

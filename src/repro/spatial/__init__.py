@@ -1,0 +1,33 @@
+"""``repro.spatial`` - geometry, grids, road networks, spatial indexing."""
+
+from .generators import grid_city, ring_city
+from .geometry import (
+    EARTH_RADIUS_M,
+    Point,
+    euclidean,
+    haversine_m,
+    latlng_to_local,
+    local_to_latlng,
+    point_segment_distance,
+    project_onto_segment,
+)
+from .grid import Grid
+from .index import SegmentIndex
+from .roadnet import RoadNetwork, RoadSegment
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "haversine_m",
+    "latlng_to_local",
+    "local_to_latlng",
+    "project_onto_segment",
+    "point_segment_distance",
+    "EARTH_RADIUS_M",
+    "Grid",
+    "RoadNetwork",
+    "RoadSegment",
+    "SegmentIndex",
+    "grid_city",
+    "ring_city",
+]

@@ -1,0 +1,142 @@
+"""Synthetic road network generators.
+
+The paper evaluates on Beijing (Geolife, T-Drive); without those maps we
+generate Beijing-like street grids: a perturbed lattice of intersections
+with bidirectional streets, optional diagonal avenues, and random street
+removals that preserve strong connectivity.  Segment lengths land in the
+100-500 m range typical of urban blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import Point
+from .roadnet import RoadNetwork, RoadSegment
+
+__all__ = ["grid_city", "ring_city"]
+
+
+def grid_city(nx: int = 8, ny: int = 8, spacing: float = 250.0,
+              jitter: float = 0.15, drop_prob: float = 0.08,
+              diagonal_prob: float = 0.05,
+              rng: np.random.Generator | None = None) -> RoadNetwork:
+    """Generate a perturbed-lattice city road network.
+
+    Parameters
+    ----------
+    nx, ny:
+        Intersections along each axis.
+    spacing:
+        Nominal block edge length in metres.
+    jitter:
+        Node position noise as a fraction of ``spacing``.
+    drop_prob:
+        Probability of removing a street (both directions); removals
+        that would disconnect the undirected lattice are skipped.
+    diagonal_prob:
+        Probability of adding a diagonal street across a block.
+    rng:
+        Seeded generator; a default seeded generator is used if omitted
+        so the function is deterministic by default.
+    """
+    if nx < 2 or ny < 2:
+        raise ValueError("grid_city needs at least a 2x2 lattice")
+    rng = rng if rng is not None else np.random.default_rng(7)
+
+    nodes: dict[int, Point] = {}
+    for j in range(ny):
+        for i in range(nx):
+            node_id = j * nx + i
+            x = i * spacing + rng.normal(0.0, jitter * spacing)
+            y = j * spacing + rng.normal(0.0, jitter * spacing)
+            nodes[node_id] = Point(float(x), float(y))
+
+    # Undirected street set as node-id pairs.
+    streets: list[tuple[int, int]] = []
+    for j in range(ny):
+        for i in range(nx):
+            node = j * nx + i
+            if i + 1 < nx:
+                streets.append((node, node + 1))
+            if j + 1 < ny:
+                streets.append((node, node + nx))
+            if i + 1 < nx and j + 1 < ny and rng.random() < diagonal_prob:
+                streets.append((node, node + nx + 1))
+
+    streets = _drop_streets(streets, set(nodes), drop_prob, rng)
+
+    segments: list[RoadSegment] = []
+    for a, b in streets:
+        for u, v in ((a, b), (b, a)):
+            segments.append(
+                RoadSegment(
+                    segment_id=len(segments),
+                    start_node=u,
+                    end_node=v,
+                    start=nodes[u],
+                    end=nodes[v],
+                )
+            )
+    return RoadNetwork(nodes, segments)
+
+
+def ring_city(num_nodes: int = 24, radius: float = 800.0, spokes: int = 6,
+              rng: np.random.Generator | None = None) -> RoadNetwork:
+    """Generate a ring road with spokes to a central hub.
+
+    A deliberately different topology from :func:`grid_city`, used by
+    tests to make sure nothing assumes lattice structure.
+    """
+    if num_nodes < 3:
+        raise ValueError("ring_city needs at least 3 ring nodes")
+    rng = rng if rng is not None else np.random.default_rng(11)
+    nodes: dict[int, Point] = {}
+    for k in range(num_nodes):
+        angle = 2.0 * np.pi * k / num_nodes
+        r = radius * (1.0 + rng.normal(0.0, 0.03))
+        nodes[k] = Point(float(r * np.cos(angle)), float(r * np.sin(angle)))
+    hub = num_nodes
+    nodes[hub] = Point(0.0, 0.0)
+
+    streets = [(k, (k + 1) % num_nodes) for k in range(num_nodes)]
+    spoke_nodes = np.linspace(0, num_nodes, num=spokes, endpoint=False, dtype=int)
+    streets.extend((int(k), hub) for k in spoke_nodes)
+
+    segments: list[RoadSegment] = []
+    for a, b in streets:
+        for u, v in ((a, b), (b, a)):
+            segments.append(
+                RoadSegment(
+                    segment_id=len(segments),
+                    start_node=u,
+                    end_node=v,
+                    start=nodes[u],
+                    end=nodes[v],
+                )
+            )
+    return RoadNetwork(nodes, segments)
+
+
+def _drop_streets(streets: list[tuple[int, int]], node_ids: set[int],
+                  drop_prob: float, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Randomly remove streets while keeping the undirected graph connected."""
+    if drop_prob <= 0:
+        return streets
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(node_ids)
+    graph.add_edges_from(streets)
+    kept = list(streets)
+    order = rng.permutation(len(kept))
+    for idx in order:
+        if rng.random() >= drop_prob:
+            continue
+        a, b = kept[idx]
+        graph.remove_edge(a, b)
+        if nx.is_connected(graph):
+            kept[idx] = None  # type: ignore[call-overload]
+        else:
+            graph.add_edge(a, b)
+    return [s for s in kept if s is not None]

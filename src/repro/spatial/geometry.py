@@ -1,0 +1,97 @@
+"""Planar geometry primitives for road networks and trajectories.
+
+The repository works in a local planar frame (metres), which is the
+standard simplification for city-scale trajectory work: raw WGS-84
+latitude/longitude coordinates are converted once via an equirectangular
+projection around a reference point (:func:`latlng_to_local`) and all
+downstream computation is Euclidean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "haversine_m",
+    "latlng_to_local",
+    "local_to_latlng",
+    "project_onto_segment",
+    "point_segment_distance",
+    "EARTH_RADIUS_M",
+]
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in the local planar frame (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[x, y]`` as a NumPy array."""
+        return np.array([self.x, self.y], dtype=np.float64)
+
+
+def euclidean(a: Point | tuple[float, float], b: Point | tuple[float, float]) -> float:
+    """Euclidean distance between two points or ``(x, y)`` tuples."""
+    ax, ay = (a.x, a.y) if isinstance(a, Point) else a
+    bx, by = (b.x, b.y) if isinstance(b, Point) else b
+    return math.hypot(ax - bx, ay - by)
+
+
+def haversine_m(lat1: float, lng1: float, lat2: float, lng2: float) -> float:
+    """Great-circle distance between two WGS-84 coordinates, in metres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lng2 - lng1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(math.sqrt(a))
+
+
+def latlng_to_local(lat: float, lng: float, ref_lat: float, ref_lng: float) -> Point:
+    """Equirectangular projection of (lat, lng) around a reference point."""
+    x = math.radians(lng - ref_lng) * EARTH_RADIUS_M * math.cos(math.radians(ref_lat))
+    y = math.radians(lat - ref_lat) * EARTH_RADIUS_M
+    return Point(x, y)
+
+
+def local_to_latlng(point: Point, ref_lat: float, ref_lng: float) -> tuple[float, float]:
+    """Inverse of :func:`latlng_to_local`."""
+    lat = ref_lat + math.degrees(point.y / EARTH_RADIUS_M)
+    lng = ref_lng + math.degrees(point.x / (EARTH_RADIUS_M * math.cos(math.radians(ref_lat))))
+    return lat, lng
+
+
+def project_onto_segment(p: Point, a: Point, b: Point) -> tuple[Point, float]:
+    """Project ``p`` onto the line segment ``a -> b``.
+
+    Returns ``(projection, ratio)`` where ``ratio`` is the paper's moving
+    ratio: 0 at the start node ``a``, 1 at the end node ``b``, clamped to
+    the segment (Definition 5).
+    """
+    ax, ay = a.x, a.y
+    dx, dy = b.x - ax, b.y - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq <= 0.0:
+        return a, 0.0
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / length_sq
+    t = min(1.0, max(0.0, t))
+    return Point(ax + t * dx, ay + t * dy), t
+
+
+def point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    """Distance from ``p`` to the segment ``a -> b``."""
+    projection, _ = project_onto_segment(p, a, b)
+    return p.distance_to(projection)

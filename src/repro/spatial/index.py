@@ -1,0 +1,101 @@
+"""Grid-bucket spatial index over road segments.
+
+The HMM map matcher, the constraint-mask layer, and the synthetic data
+generator all need "segments within radius of a point" queries; a
+uniform bucket grid makes them O(1)-ish instead of a linear scan over
+the whole network.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from .geometry import Point, point_segment_distance
+from .roadnet import RoadNetwork, RoadSegment
+
+__all__ = ["SegmentIndex"]
+
+
+class SegmentIndex:
+    """Uniform-grid inverted index from buckets to road segments.
+
+    Each segment is registered in every bucket its bounding box overlaps
+    (inflated by nothing; query inflates by the search radius instead).
+
+    Parameters
+    ----------
+    network:
+        The road network to index.
+    bucket_size:
+        Bucket edge length in metres; defaults to 250 m which suits
+        city-block-sized segments.
+    """
+
+    def __init__(self, network: RoadNetwork, bucket_size: float = 250.0):
+        if bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        self.network = network
+        self.bucket_size = bucket_size
+        self._buckets: dict[tuple[int, int], list[RoadSegment]] = defaultdict(list)
+        for seg in network.segments:
+            for key in self._cover_keys(seg):
+                self._buckets[key].append(seg)
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (int(math.floor(x / self.bucket_size)), int(math.floor(y / self.bucket_size)))
+
+    def _cover_keys(self, seg: RoadSegment):
+        x0, x1 = sorted((seg.start.x, seg.end.x))
+        y0, y1 = sorted((seg.start.y, seg.end.y))
+        kx0, ky0 = self._key(x0, y0)
+        kx1, ky1 = self._key(x1, y1)
+        for kx in range(kx0, kx1 + 1):
+            for ky in range(ky0, ky1 + 1):
+                yield (kx, ky)
+
+    def query(self, point: Point, radius: float) -> list[tuple[RoadSegment, float]]:
+        """Segments within ``radius`` of ``point``, sorted by distance.
+
+        Returns ``(segment, distance)`` pairs.  Falls back to widening
+        rings until at least one segment is found or the whole network
+        has been scanned, so callers always get a candidate.
+        """
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        results = self._query_once(point, radius)
+        widened = radius
+        max_extent = self._max_extent(point)
+        while not results and widened < max_extent:
+            widened *= 2.0
+            results = self._query_once(point, widened)
+        return results
+
+    def _query_once(self, point: Point, radius: float) -> list[tuple[RoadSegment, float]]:
+        kx0, ky0 = self._key(point.x - radius, point.y - radius)
+        kx1, ky1 = self._key(point.x + radius, point.y + radius)
+        seen: set[int] = set()
+        found: list[tuple[RoadSegment, float]] = []
+        for kx in range(kx0, kx1 + 1):
+            for ky in range(ky0, ky1 + 1):
+                for seg in self._buckets.get((kx, ky), ()):
+                    if seg.segment_id in seen:
+                        continue
+                    seen.add(seg.segment_id)
+                    d = point_segment_distance(point, seg.start, seg.end)
+                    if d <= radius:
+                        found.append((seg, d))
+        found.sort(key=lambda pair: pair[1])
+        return found
+
+    def _max_extent(self, point: Point) -> float:
+        """A radius guaranteed to reach the whole network from ``point``."""
+        min_x, min_y, max_x, max_y = self.network.bounding_box()
+        span = max(max_x - min_x, max_y - min_y)
+        # Distance from the query point to the farthest bbox corner.
+        reach = max(
+            math.hypot(point.x - cx, point.y - cy)
+            for cx in (min_x, max_x)
+            for cy in (min_y, max_y)
+        )
+        return 2.0 * max(span, reach) + self.bucket_size

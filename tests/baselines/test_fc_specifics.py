@@ -1,0 +1,55 @@
+"""Focused behavioural tests distinguishing the baselines' failure modes.
+
+These pin the *reasons* behind the paper's Table IV ordering: FC cannot
+use sequence order; the recurrent models can.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FCRecoveryModel, RNNRecoveryModel
+from repro.core import LTEModel
+
+
+class TestFCOrderInsensitivity:
+    def test_fc_pooled_context_ignores_observation_order(self, tiny_config,
+                                                         tiny_dataset, tiny_mask):
+        """Permuting the observed points does not change FC's pooled
+        context, hence its predictions - the architectural weakness the
+        paper criticises (Section V-B1)."""
+        model = FCRecoveryModel(tiny_config, np.random.default_rng(0))
+        model.eval()
+        batch = tiny_dataset.full_batch()
+        log_mask = tiny_mask.build(batch)
+        out1 = model(batch, log_mask)
+
+        # Reverse the observed sequence (cells and features together).
+        import copy
+        reversed_batch = copy.deepcopy(batch)
+        for i in range(batch.size):
+            n = int(batch.obs_mask[i].sum())
+            reversed_batch.obs_cells[i, :n] = batch.obs_cells[i, :n][::-1]
+            reversed_batch.obs_feats[i, :n] = batch.obs_feats[i, :n][::-1]
+        out2 = model(reversed_batch, log_mask)
+        np.testing.assert_allclose(out1.log_probs.data, out2.log_probs.data,
+                                   atol=1e-9)
+
+    def test_recurrent_models_are_order_sensitive(self, tiny_config,
+                                                  tiny_dataset, tiny_mask):
+        for cls in (RNNRecoveryModel, LTEModel):
+            model = cls(tiny_config, np.random.default_rng(0))
+            model.eval()
+            batch = tiny_dataset.full_batch()
+            log_mask = tiny_mask.build(batch)
+            out1 = model(batch, log_mask)
+
+            import copy
+            reversed_batch = copy.deepcopy(batch)
+            for i in range(batch.size):
+                n = int(batch.obs_mask[i].sum())
+                reversed_batch.obs_cells[i, :n] = batch.obs_cells[i, :n][::-1]
+                reversed_batch.obs_feats[i, :n] = batch.obs_feats[i, :n][::-1]
+            out2 = model(reversed_batch, log_mask)
+            assert not np.allclose(out1.log_probs.data, out2.log_probs.data), cls

@@ -1,0 +1,121 @@
+"""Tests shared across all baseline recovery models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FCRecoveryModel,
+    MTrajRecModel,
+    RNNRecoveryModel,
+    RNTrajRecModel,
+)
+from repro.core import LTEModel
+from repro.core.training import LocalTrainer, TrainingConfig
+
+
+def build(name, config, network):
+    rng = np.random.default_rng(0)
+    if name == "fc":
+        return FCRecoveryModel(config, rng)
+    if name == "rnn":
+        return RNNRecoveryModel(config, rng)
+    if name == "mtrajrec":
+        return MTrajRecModel(config, rng)
+    if name == "rntrajrec":
+        return RNTrajRecModel(config, rng, network)
+    if name == "lighttr":
+        return LTEModel(config, rng)
+    raise AssertionError(name)
+
+
+ALL = ("fc", "rnn", "mtrajrec", "rntrajrec", "lighttr")
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestContract:
+    """Every model obeys the shared RecoveryModel contract."""
+
+    def test_forward_shapes(self, name, tiny_config, tiny_world, tiny_dataset,
+                            tiny_mask):
+        model = build(name, tiny_config, tiny_world.network)
+        batch = tiny_dataset.full_batch()
+        out = model(batch, tiny_mask.build(batch))
+        b, t = batch.tgt_segments.shape
+        assert out.log_probs.shape == (b, t, tiny_dataset.num_segments)
+        assert out.ratios.shape == (b, t)
+        assert out.segments.shape == (b, t)
+
+    def test_log_probs_normalised(self, name, tiny_config, tiny_world,
+                                  tiny_dataset, tiny_mask):
+        model = build(name, tiny_config, tiny_world.network)
+        batch = tiny_dataset.full_batch()
+        out = model(batch, tiny_mask.build(batch))
+        np.testing.assert_allclose(np.exp(out.log_probs.data).sum(axis=-1), 1.0,
+                                   atol=1e-8)
+
+    def test_loss_backward_fills_gradients(self, name, tiny_config, tiny_world,
+                                           tiny_dataset, tiny_mask):
+        model = build(name, tiny_config, tiny_world.network)
+        batch = tiny_dataset.full_batch()
+        out = model(batch, tiny_mask.build(batch))
+        total, _ = model.loss(out, batch)
+        total.backward()
+        with_grad = sum(p.grad is not None for p in model.parameters())
+        assert with_grad >= len(model.parameters()) - 2
+
+    def test_one_epoch_reduces_loss(self, name, tiny_config, tiny_world,
+                                    tiny_dataset, tiny_mask):
+        model = build(name, tiny_config, tiny_world.network)
+        trainer = LocalTrainer(model, tiny_mask,
+                               TrainingConfig(epochs=1, batch_size=8, lr=5e-3),
+                               np.random.default_rng(1))
+        losses = trainer.train_epochs(tiny_dataset, epochs=4)
+        assert losses[-1] < losses[0]
+
+    def test_state_dict_round_trip(self, name, tiny_config, tiny_world):
+        a = build(name, tiny_config, tiny_world.network)
+        b = build(name, tiny_config, tiny_world.network)
+        for p in b.parameters():
+            p.data = p.data + 1.0
+        b.load_state_dict(a.state_dict())
+        for (ka, pa), (kb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert ka == kb
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_mask_validation(self, name, tiny_config, tiny_world, tiny_dataset):
+        model = build(name, tiny_config, tiny_world.network)
+        with pytest.raises(ValueError):
+            model(tiny_dataset.full_batch(), np.zeros((1, 2, 3)))
+
+
+class TestModelSpecifics:
+    def test_fc_is_permutation_insensitive_at_decode(self, tiny_config,
+                                                     tiny_world, tiny_dataset,
+                                                     tiny_mask):
+        """FC pools the observations: identical pooled context means each
+        step's prediction ignores sequence order (the paper's criticism)."""
+        model = FCRecoveryModel(tiny_config, np.random.default_rng(0))
+        assert not hasattr(model, "encoder")
+
+    def test_rntrajrec_adjacency_row_stochastic(self, tiny_world):
+        from repro.baselines import segment_adjacency
+        adj = segment_adjacency(tiny_world.network)
+        np.testing.assert_allclose(adj.sum(axis=1), 1.0)
+        assert (adj >= 0).all()
+
+    def test_rntrajrec_refined_embeddings_shape(self, tiny_config, tiny_world):
+        model = RNTrajRecModel(tiny_config, np.random.default_rng(0),
+                               tiny_world.network)
+        table = model.refined_segment_embeddings()
+        assert table.shape == (tiny_config.num_segments, tiny_config.seg_emb_dim)
+
+    def test_parameter_ordering_matches_paper(self, tiny_config, tiny_world):
+        """LightTR has fewer parameters than the attention baselines and
+        is in the same ballpark as plain RNN (Figure 5b)."""
+        light = build("lighttr", tiny_config, tiny_world.network)
+        mtraj = build("mtrajrec", tiny_config, tiny_world.network)
+        rntraj = build("rntrajrec", tiny_config, tiny_world.network)
+        assert light.num_parameters() < mtraj.num_parameters()
+        assert mtraj.num_parameters() < rntraj.num_parameters()

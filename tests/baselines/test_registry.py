@@ -1,0 +1,69 @@
+"""Tests for the method registry and centralized training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    METHOD_NAMES,
+    make_model_factory,
+    pool_client_data,
+    train_centralized,
+)
+from repro.core import TrainingConfig
+from repro.federated import build_federation
+
+
+class TestRegistry:
+    def test_all_paper_methods_resolvable(self, tiny_config, tiny_world):
+        for name in METHOD_NAMES:
+            factory = make_model_factory(name, tiny_config, tiny_world.network)
+            model = factory()
+            assert model.num_parameters() > 0
+
+    def test_fl_suffix_optional(self, tiny_config, tiny_world):
+        a = make_model_factory("MTrajRec+FL", tiny_config, tiny_world.network)()
+        b = make_model_factory("mtrajrec", tiny_config, tiny_world.network)()
+        assert type(a) is type(b)
+
+    def test_factory_is_deterministic(self, tiny_config, tiny_world):
+        factory = make_model_factory("LightTR", tiny_config, tiny_world.network,
+                                     seed=3)
+        m1, m2 = factory(), factory()
+        for (k1, p1), (k2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert k1 == k2
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_unknown_method_raises_eagerly(self, tiny_config, tiny_world):
+        with pytest.raises(ValueError):
+            make_model_factory("Transformer", tiny_config, tiny_world.network)
+
+
+class TestCentralized:
+    def test_pooling_counts(self, tiny_world):
+        clients, _ = build_federation(tiny_world, num_clients=3, keep_ratio=0.25)
+        pooled = pool_client_data(clients)
+        assert len(pooled) == sum(len(c.train) for c in clients)
+
+    def test_pool_empty_raises(self):
+        with pytest.raises(ValueError):
+            pool_client_data([])
+
+    def test_train_centralized_runs(self, tiny_world, tiny_config, tiny_mask):
+        clients, global_test = build_federation(tiny_world, num_clients=3,
+                                                keep_ratio=0.25)
+        factory = make_model_factory("MTrajRec", tiny_config, tiny_world.network)
+        model = train_centralized(factory, clients, tiny_mask,
+                                  TrainingConfig(epochs=1, batch_size=8, lr=3e-3),
+                                  total_epochs=2, seed=0)
+        from repro.metrics import evaluate_model
+        row = evaluate_model(model, tiny_mask, global_test)
+        assert 0.0 <= row.recall <= 1.0
+
+    def test_invalid_epochs(self, tiny_world, tiny_config, tiny_mask):
+        clients, _ = build_federation(tiny_world, num_clients=3, keep_ratio=0.25)
+        factory = make_model_factory("MTrajRec", tiny_config, tiny_world.network)
+        with pytest.raises(ValueError):
+            train_centralized(factory, clients, tiny_mask, TrainingConfig(),
+                              total_epochs=0)

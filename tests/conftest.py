@@ -1,0 +1,62 @@
+"""Shared fixtures: a tiny synthetic world reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder, RecoveryModelConfig
+from repro.data import TrajectoryDataset, geolife_like
+from repro.spatial import grid_city
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A small strongly-connected road network."""
+    return grid_city(nx=5, ny=5, spacing=200.0, drop_prob=0.0,
+                     rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A small synthetic dataset (network + trajectories)."""
+    return geolife_like(num_drivers=6, trajectories_per_driver=4,
+                        points_per_trajectory=17, seed=9)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_world):
+    """Encoded recovery dataset at keep ratio 25%."""
+    return TrajectoryDataset.from_matched(
+        tiny_world.matched, tiny_world.grid, tiny_world.network, keep_ratio=0.25
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_dataset, tiny_world):
+    return RecoveryModelConfig(
+        num_cells=tiny_dataset.num_cells,
+        num_segments=tiny_dataset.num_segments,
+        cell_emb_dim=8,
+        seg_emb_dim=8,
+        hidden_size=16,
+        num_st_blocks=2,
+        dropout=0.0,
+        bbox=tiny_world.network.bounding_box(),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_mask(tiny_world):
+    return ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+
+
+@pytest.fixture()
+def fresh_rng():
+    """Per-test generator (independent of the session fixture)."""
+    return np.random.default_rng(777)

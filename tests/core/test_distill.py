@@ -1,0 +1,122 @@
+"""Tests for meta-knowledge distillation (Algorithm 2, Eq. 16-18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstraintMaskBuilder,
+    LTEModel,
+    MetaKnowledgeDistiller,
+    dynamic_lambda,
+)
+from repro.core.training import LocalTrainer, TrainingConfig
+
+
+class TestDynamicLambda:
+    def test_gate_zero_when_teacher_not_better_and_student_weak(self):
+        assert dynamic_lambda(5.0, acc_teacher=0.2, acc_student=0.3, lt=0.4) == 0.0
+
+    def test_active_when_student_above_threshold(self):
+        lam = dynamic_lambda(5.0, acc_teacher=0.3, acc_student=0.5, lt=0.4)
+        assert lam > 0.0
+
+    def test_equal_accuracy_gives_tenth(self):
+        lam = dynamic_lambda(5.0, acc_teacher=0.6, acc_student=0.6, lt=0.4)
+        assert lam == pytest.approx(0.5)  # 5 * 10^-1
+
+    def test_much_better_teacher_saturates_at_lambda0(self):
+        lam = dynamic_lambda(5.0, acc_teacher=0.9, acc_student=0.3, lt=0.4)
+        assert lam == pytest.approx(5.0)  # exponent clipped at 1
+
+    def test_monotone_in_teacher_advantage(self):
+        lams = [dynamic_lambda(5.0, 0.5 + d, 0.5, lt=0.0) for d in
+                (0.0, 0.05, 0.1, 0.2)]
+        assert lams == sorted(lams)
+
+    def test_negative_lambda0_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_lambda(-1.0, 0.5, 0.5, 0.4)
+
+
+class TestDistillationTerm:
+    @pytest.fixture()
+    def setup(self, tiny_config, tiny_dataset, tiny_mask):
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        student = LTEModel(tiny_config, np.random.default_rng(2))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask, lambda0=5.0, lt=0.4)
+        return teacher, student, distiller
+
+    def test_zero_for_identical_models(self, tiny_config, tiny_dataset, tiny_mask):
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        student = LTEModel(tiny_config, np.random.default_rng(1))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask)
+        batch = tiny_dataset.full_batch()
+        log_mask = tiny_mask.build(batch)
+        student.eval()  # disable dropout nondeterminism (none configured, but explicit)
+        out = student(batch, log_mask)
+        term = distiller.distillation_term(out, batch, log_mask)
+        assert term.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_different_models(self, setup, tiny_dataset, tiny_mask):
+        _, student, distiller = setup
+        batch = tiny_dataset.full_batch()
+        log_mask = tiny_mask.build(batch)
+        out = student(batch, log_mask)
+        assert distiller.distillation_term(out, batch, log_mask).item() > 0.0
+
+    def test_gradient_reaches_student_not_teacher(self, setup, tiny_dataset,
+                                                  tiny_mask):
+        teacher, student, distiller = setup
+        batch = tiny_dataset.full_batch()
+        log_mask = tiny_mask.build(batch)
+        out = student(batch, log_mask)
+        term = distiller.distillation_term(out, batch, log_mask)
+        term.backward()
+        assert any(p.grad is not None for p in student.parameters())
+        assert all(p.grad is None for p in teacher.parameters())
+
+    def test_distillation_pulls_student_toward_teacher(self, tiny_config,
+                                                       tiny_dataset, tiny_mask):
+        """Training the student only on the distillation term should
+        shrink the student-teacher output gap."""
+        from repro import nn as repro_nn
+
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        student = LTEModel(tiny_config, np.random.default_rng(2))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask)
+        batch = tiny_dataset.full_batch()
+        log_mask = tiny_mask.build(batch)
+        opt = repro_nn.Adam(student.parameters(), lr=5e-3)
+        gaps = []
+        for _ in range(8):
+            opt.zero_grad()
+            out = student(batch, log_mask)
+            term = distiller.distillation_term(out, batch, log_mask)
+            gaps.append(term.item())
+            term.backward()
+            opt.step()
+        assert gaps[-1] < gaps[0]
+
+
+class TestLambdaForClient:
+    def test_returns_float_in_range(self, tiny_config, tiny_dataset, tiny_mask):
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        student = LTEModel(tiny_config, np.random.default_rng(2))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask, lambda0=5.0)
+        lam = distiller.lambda_for_client(student, tiny_dataset)
+        assert 0.0 <= lam <= 5.0
+
+    def test_trained_teacher_raises_lambda(self, tiny_config, tiny_dataset,
+                                           tiny_mask):
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        trainer = LocalTrainer(teacher, tiny_mask,
+                               TrainingConfig(epochs=1, batch_size=8, lr=5e-3),
+                               np.random.default_rng(0))
+        student = LTEModel(tiny_config, np.random.default_rng(2))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask, lambda0=5.0, lt=0.0)
+        before = distiller.lambda_for_client(student, tiny_dataset)
+        trainer.train_epochs(tiny_dataset, epochs=6)
+        after = distiller.lambda_for_client(student, tiny_dataset)
+        assert after >= before

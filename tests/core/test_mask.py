@@ -1,0 +1,89 @@
+"""Tests for the constraint mask layer (Eq. 10-11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder
+from repro.core.mask import _FLOOR_LOG
+
+
+class TestPointMasks:
+    def test_near_segment_gets_high_weight(self, tiny_world):
+        builder = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+        seg = tiny_world.network.segments[0]
+        mid = seg.position_at(0.5)
+        log_mask = builder.log_mask_for_point(mid.x, mid.y)
+        assert log_mask[seg.segment_id] > _FLOOR_LOG
+        assert log_mask[seg.segment_id] > log_mask.min()
+
+    def test_far_segments_floored(self, tiny_world):
+        builder = ConstraintMaskBuilder(tiny_world.network, radius=200.0)
+        min_x, min_y, _, _ = tiny_world.network.bounding_box()
+        log_mask = builder.log_mask_for_point(min_x - 5000.0, min_y - 5000.0)
+        assert (log_mask == _FLOOR_LOG).all()
+
+    def test_weight_decays_with_distance(self, tiny_world):
+        builder = ConstraintMaskBuilder(tiny_world.network, gamma=125.0,
+                                        radius=600.0)
+        seg = tiny_world.network.segments[0]
+        near = seg.position_at(0.5)
+        log_near = builder.log_mask_for_point(near.x, near.y)[seg.segment_id]
+        # Same segment evaluated from farther away scores lower.
+        far_x = near.x + 300.0
+        far_y = near.y + 300.0
+        log_far = builder.log_mask_for_point(far_x, far_y)[seg.segment_id]
+        assert log_far < log_near
+
+    def test_identity_mode_all_zero(self, tiny_world):
+        builder = ConstraintMaskBuilder(tiny_world.network, identity=True)
+        log_mask = builder.log_mask_for_point(0.0, 0.0)
+        np.testing.assert_allclose(log_mask, 0.0)
+
+    def test_invalid_params(self, tiny_world):
+        with pytest.raises(ValueError):
+            ConstraintMaskBuilder(tiny_world.network, gamma=0.0)
+        with pytest.raises(ValueError):
+            ConstraintMaskBuilder(tiny_world.network, radius=-1.0)
+
+
+class TestBatchMasks:
+    def test_build_shape(self, tiny_dataset, tiny_mask):
+        batch = tiny_dataset.full_batch()
+        log_mask = tiny_mask.build(batch)
+        assert log_mask.shape == (
+            batch.size, batch.steps, tiny_dataset.num_segments
+        )
+
+    def test_true_segment_rarely_masked_out(self, tiny_dataset, tiny_world):
+        """The ground-truth segment should be within the mask radius of
+        the guide position nearly always (otherwise training is
+        impossible)."""
+        builder = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+        batch = tiny_dataset.full_batch()
+        log_mask = builder.build(batch)
+        valid = batch.tgt_mask
+        hits = 0
+        total = 0
+        for i in range(batch.size):
+            for j in range(batch.steps):
+                if not valid[i, j]:
+                    continue
+                total += 1
+                if log_mask[i, j, batch.tgt_segments[i, j]] > _FLOOR_LOG:
+                    hits += 1
+        assert hits / total > 0.95
+
+    def test_cache_speeds_repeat_queries(self, tiny_world):
+        builder = ConstraintMaskBuilder(tiny_world.network, radius=300.0)
+        first = builder.log_mask_for_point(123.0, 456.0)
+        second = builder.log_mask_for_point(123.0, 456.0)
+        assert first is second  # memoised object identity
+
+    def test_clear_cache(self, tiny_world):
+        builder = ConstraintMaskBuilder(tiny_world.network, radius=300.0)
+        builder.log_mask_for_point(1.0, 1.0)
+        assert builder._cache
+        builder.clear_cache()
+        assert not builder._cache

@@ -1,0 +1,70 @@
+"""Tests for the lightweight ST-operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.st_block import LightweightSTOperator
+
+
+@pytest.fixture()
+def operator(fresh_rng):
+    return LightweightSTOperator(num_segments=20, seg_emb_dim=6, hidden_size=12,
+                                 rng=fresh_rng, extra_inputs=4, num_blocks=2)
+
+
+def run_step(operator, batch=3):
+    states = [nn.zeros(batch, 12) for _ in range(2)]
+    prev_segments = np.array([0, 5, 19][:batch])
+    prev_ratios = nn.Tensor(np.full(batch, 0.5))
+    extras = np.zeros((batch, 4))
+    log_mask = np.zeros((batch, 20))
+    return operator.step(states, prev_segments, prev_ratios, extras, log_mask)
+
+
+class TestStep:
+    def test_output_shapes(self, operator):
+        states, out = run_step(operator)
+        assert len(states) == 2
+        assert all(s.shape == (3, 12) for s in states)
+        assert out.log_probs.shape == (3, 20)
+        assert out.segments.shape == (3,)
+        assert out.ratios.shape == (3,)
+
+    def test_log_probs_normalised(self, operator):
+        _, out = run_step(operator)
+        np.testing.assert_allclose(np.exp(out.log_probs.data).sum(axis=-1), 1.0)
+
+    def test_ratios_nonnegative(self, operator):
+        _, out = run_step(operator)
+        assert (out.ratios.data >= 0).all()
+
+    def test_hard_mask_forces_prediction(self, operator):
+        """A mask with one allowed segment forces the argmax there."""
+        states = [nn.zeros(2, 12) for _ in range(2)]
+        log_mask = np.full((2, 20), -1e9)
+        log_mask[0, 7] = 0.0
+        log_mask[1, 3] = 0.0
+        _, out = operator.step(states, np.array([0, 0]),
+                               nn.Tensor(np.zeros(2)), np.zeros((2, 4)), log_mask)
+        assert out.segments.tolist() == [7, 3]
+
+    def test_initial_states_replicated(self, operator):
+        h = nn.Tensor(np.random.default_rng(0).standard_normal((4, 12)))
+        states = operator.initial_states(h)
+        assert len(states) == 2
+        for s in states:
+            np.testing.assert_allclose(s.data, h.data)
+
+    def test_needs_at_least_one_block(self, fresh_rng):
+        with pytest.raises(ValueError):
+            LightweightSTOperator(10, 4, 8, fresh_rng, num_blocks=0)
+
+    def test_gradient_flows_through_step(self, operator):
+        states, out = run_step(operator)
+        loss = out.log_probs.sum() + out.ratios.sum()
+        loss.backward()
+        grads = [p.grad for p in operator.parameters()]
+        assert sum(g is not None for g in grads) >= len(grads) - 1

@@ -1,0 +1,102 @@
+"""Tests for cyclic teacher training (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LTEModel, TeacherConfig, train_teacher
+from repro.core.training import TrainingConfig, model_segment_accuracy
+
+
+@pytest.fixture()
+def client_splits(tiny_dataset, fresh_rng):
+    """Three clients with small train/valid splits."""
+    splits = []
+    third = len(tiny_dataset) // 3
+    for k in range(3):
+        part = tiny_dataset.examples[k * third : (k + 1) * third]
+        from repro.data import TrajectoryDataset
+        shard = TrajectoryDataset(part, tiny_dataset.grid, tiny_dataset.network,
+                                  tiny_dataset.keep_ratio)
+        train, valid, _ = shard.split((0.6, 0.4, 0.0), rng=fresh_rng)
+        splits.append((train, valid if len(valid) else train))
+    return splits
+
+
+def factory_for(config):
+    def factory():
+        return LTEModel(config, np.random.default_rng(11))
+    return factory
+
+
+class TestAlgorithm1:
+    def test_produces_teacher_and_log(self, tiny_config, client_splits, tiny_mask,
+                                      fresh_rng):
+        config = TeacherConfig(lt=0.0, epochs_per_client=1, cycles=1,
+                               training=TrainingConfig(epochs=1, batch_size=8,
+                                                       lr=3e-3))
+        result = train_teacher(factory_for(tiny_config), client_splits, tiny_mask,
+                               config, fresh_rng)
+        assert len(result.accepted) == 3
+        assert len(result.accuracies) == 3
+        assert not result.teacher.training  # returned in eval mode
+
+    def test_zero_threshold_accepts_everything(self, tiny_config, client_splits,
+                                               tiny_mask, fresh_rng):
+        config = TeacherConfig(lt=0.0, epochs_per_client=1,
+                               training=TrainingConfig(epochs=1, batch_size=8,
+                                                       lr=3e-3))
+        result = train_teacher(factory_for(tiny_config), client_splits, tiny_mask,
+                               config, fresh_rng)
+        assert all(result.accepted)
+
+    def test_impossible_threshold_rolls_back_everything(self, tiny_config,
+                                                        client_splits, tiny_mask,
+                                                        fresh_rng):
+        config = TeacherConfig(lt=1.0, epochs_per_client=1,
+                               training=TrainingConfig(epochs=1, batch_size=8,
+                                                       lr=3e-3))
+        result = train_teacher(factory_for(tiny_config), client_splits, tiny_mask,
+                               config, fresh_rng)
+        assert not any(result.accepted)
+        # All updates rolled back -> weights equal a fresh model.
+        fresh = factory_for(tiny_config)()
+        for (n1, p1), (n2, p2) in zip(result.teacher.named_parameters(),
+                                      fresh.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_cycles_multiply_visits(self, tiny_config, client_splits, tiny_mask,
+                                    fresh_rng):
+        config = TeacherConfig(lt=0.0, epochs_per_client=1, cycles=2,
+                               training=TrainingConfig(epochs=1, batch_size=8,
+                                                       lr=3e-3))
+        result = train_teacher(factory_for(tiny_config), client_splits, tiny_mask,
+                               config, fresh_rng)
+        assert len(result.accepted) == 6
+
+    def test_teacher_better_than_untrained(self, tiny_config, client_splits,
+                                           tiny_mask, fresh_rng, tiny_dataset):
+        config = TeacherConfig(lt=0.0, epochs_per_client=3,
+                               training=TrainingConfig(epochs=1, batch_size=8,
+                                                       lr=5e-3))
+        result = train_teacher(factory_for(tiny_config), client_splits, tiny_mask,
+                               config, fresh_rng)
+        fresh = factory_for(tiny_config)()
+        trained_acc = model_segment_accuracy(result.teacher, tiny_mask, tiny_dataset)
+        fresh_acc = model_segment_accuracy(fresh, tiny_mask, tiny_dataset)
+        assert trained_acc >= fresh_acc
+
+    def test_empty_clients_raise(self, tiny_config, tiny_mask, fresh_rng):
+        with pytest.raises(ValueError):
+            train_teacher(factory_for(tiny_config), [], tiny_mask,
+                          TeacherConfig(), fresh_rng)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TeacherConfig(lt=1.5)
+        with pytest.raises(ValueError):
+            TeacherConfig(subset_fraction=0.0)
+        with pytest.raises(ValueError):
+            TeacherConfig(cycles=0)

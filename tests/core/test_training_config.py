@@ -1,0 +1,105 @@
+"""Tests for trainer configuration, distillation wiring, and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstraintMaskBuilder,
+    LTEModel,
+    MetaKnowledgeDistiller,
+    TrainingConfig,
+)
+from repro.core.training import LocalTrainer
+
+
+class TestTrainingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(lr=0.0)
+
+    def test_defaults_match_paper_direction(self):
+        config = TrainingConfig()
+        assert config.lr == pytest.approx(1e-3)  # paper's initial LR
+        assert config.mu == 1.0
+
+
+class TestTrainerEdgeCases:
+    def test_empty_dataset_rejected(self, tiny_config, tiny_dataset, tiny_mask,
+                                    fresh_rng):
+        from repro.data import TrajectoryDataset
+        model = LTEModel(tiny_config, np.random.default_rng(0))
+        trainer = LocalTrainer(model, tiny_mask, TrainingConfig(), fresh_rng)
+        empty = TrajectoryDataset([], tiny_dataset.grid, tiny_dataset.network, 0.25)
+        with pytest.raises(ValueError):
+            trainer.train_epoch(empty)
+        with pytest.raises(ValueError):
+            trainer.segment_accuracy(empty)
+
+    def test_distillation_with_zero_lambda_is_plain_training(self, tiny_config,
+                                                             tiny_dataset,
+                                                             tiny_mask):
+        """lam=0 must give bit-identical parameters to no distiller at all
+        (the distillation term is never evaluated)."""
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask)
+
+        def run(distiller_arg):
+            model = LTEModel(tiny_config, np.random.default_rng(2))
+            trainer = LocalTrainer(model, tiny_mask,
+                                   TrainingConfig(epochs=1, batch_size=8,
+                                                  lr=3e-3),
+                                   np.random.default_rng(3))
+            trainer.train_epoch(tiny_dataset, distiller=distiller_arg, lam=0.0)
+            return model.state_dict()
+
+        a = run(None)
+        b = run(distiller)
+        for key in a:
+            np.testing.assert_allclose(a[key], b[key])
+
+    def test_distillation_changes_updates(self, tiny_config, tiny_dataset,
+                                          tiny_mask):
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        distiller = MetaKnowledgeDistiller(teacher, tiny_mask)
+
+        def run(lam):
+            model = LTEModel(tiny_config, np.random.default_rng(2))
+            trainer = LocalTrainer(model, tiny_mask,
+                                   TrainingConfig(epochs=1, batch_size=8,
+                                                  lr=3e-3),
+                                   np.random.default_rng(3))
+            trainer.train_epoch(tiny_dataset, distiller=distiller, lam=lam)
+            return model.state_dict()
+
+        plain = run(0.0)
+        distilled = run(2.0)
+        assert any(not np.allclose(plain[k], distilled[k]) for k in plain)
+
+    def test_fixed_lambda_distiller(self, tiny_config, tiny_dataset, tiny_mask):
+        teacher = LTEModel(tiny_config, np.random.default_rng(1))
+        student = LTEModel(tiny_config, np.random.default_rng(2))
+        fixed = MetaKnowledgeDistiller(teacher, tiny_mask, lambda0=3.0,
+                                       dynamic=False)
+        assert fixed.lambda_for_client(student, tiny_dataset) == 3.0
+
+    def test_gradients_cleared_between_batches(self, tiny_config, tiny_dataset,
+                                               tiny_mask, fresh_rng):
+        """Adam must not see stale gradients: after an epoch, a manual
+        zero_grad + step changes nothing."""
+        model = LTEModel(tiny_config, np.random.default_rng(0))
+        trainer = LocalTrainer(model, tiny_mask,
+                               TrainingConfig(epochs=1, batch_size=4, lr=3e-3),
+                               fresh_rng)
+        trainer.train_epoch(tiny_dataset)
+        before = model.state_dict()
+        trainer.optimizer.zero_grad()
+        trainer.optimizer.step()  # no grads -> no movement
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key])

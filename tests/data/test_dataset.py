@@ -1,0 +1,126 @@
+"""Tests for example encoding, splits, and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TrajectoryDataset, downsample, encode_example
+
+
+class TestEncoding:
+    def test_shapes(self, tiny_world):
+        traj = tiny_world.matched[0]
+        inc = downsample(traj, 0.25)
+        ex = encode_example(inc, tiny_world.grid, tiny_world.network)
+        n_obs = len(inc.observed_indices)
+        n_full = len(traj)
+        assert ex.obs_cells.shape == (n_obs,)
+        assert ex.obs_tids.shape == (n_obs,)
+        assert ex.obs_xy.shape == (n_obs, 2)
+        assert ex.tgt_segments.shape == (n_full,)
+        assert ex.tgt_ratios.shape == (n_full,)
+        assert ex.guide_xy.shape == (n_full, 2)
+        assert ex.observed_flags.sum() == n_obs
+
+    def test_guide_matches_observed_positions(self, tiny_world):
+        traj = tiny_world.matched[1]
+        inc = downsample(traj, 0.25)
+        ex = encode_example(inc, tiny_world.grid, tiny_world.network)
+        for k, idx in enumerate(inc.observed_indices):
+            np.testing.assert_allclose(ex.guide_xy[idx], ex.obs_xy[k])
+
+    def test_guide_interpolates_between_observations(self, tiny_world):
+        traj = tiny_world.matched[2]
+        inc = downsample(traj, 0.25)
+        ex = encode_example(inc, tiny_world.grid, tiny_world.network)
+        i0, i1 = inc.observed_indices[0], inc.observed_indices[1]
+        mid = (i0 + i1) // 2
+        expected = ex.obs_xy[0] + (ex.obs_xy[1] - ex.obs_xy[0]) * (
+            (mid - i0) / (i1 - i0)
+        )
+        np.testing.assert_allclose(ex.guide_xy[mid], expected, atol=1e-9)
+
+    def test_cells_in_vocabulary(self, tiny_dataset):
+        for ex in tiny_dataset.examples:
+            assert ex.obs_cells.max() < tiny_dataset.num_cells
+            assert ex.obs_cells.min() >= 0
+
+
+class TestSplit:
+    def test_fractions(self, tiny_dataset, fresh_rng):
+        train, valid, test = tiny_dataset.split((0.7, 0.2, 0.1), rng=fresh_rng)
+        n = len(tiny_dataset)
+        assert len(train) + len(valid) + len(test) == n
+        assert len(train) == round(0.7 * n)
+
+    def test_disjoint(self, tiny_dataset, fresh_rng):
+        train, valid, test = tiny_dataset.split(rng=fresh_rng)
+        ids = [e.traj_id for part in (train, valid, test) for e in part.examples]
+        assert len(ids) == len(set(ids))
+
+    def test_bad_fractions(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.split((0.5, 0.5, 0.5))
+
+    def test_split_preserves_world(self, tiny_dataset, fresh_rng):
+        train, _, _ = tiny_dataset.split(rng=fresh_rng)
+        assert train.network is tiny_dataset.network
+        assert train.grid is tiny_dataset.grid
+        assert train.keep_ratio == tiny_dataset.keep_ratio
+
+
+class TestBatching:
+    def test_batch_shapes_consistent(self, tiny_dataset):
+        batch = next(tiny_dataset.batches(4))
+        b = batch.size
+        t = batch.steps
+        assert batch.obs_cells.shape[0] == b
+        assert batch.tgt_segments.shape == (b, t)
+        assert batch.guide_xy.shape == (b, t, 2)
+        assert batch.obs_feats.shape[2] == 2
+
+    def test_all_examples_covered(self, tiny_dataset):
+        seen = 0
+        for batch in tiny_dataset.batches(5):
+            seen += batch.size
+        assert seen == len(tiny_dataset)
+
+    def test_shuffling_changes_order(self, tiny_dataset):
+        first = next(tiny_dataset.batches(len(tiny_dataset)))
+        shuffled = next(tiny_dataset.batches(len(tiny_dataset),
+                                             rng=np.random.default_rng(3)))
+        assert not np.array_equal(first.traj_ids, shuffled.traj_ids)
+        assert sorted(first.traj_ids) == sorted(shuffled.traj_ids)
+
+    def test_padding_masks(self, tiny_world):
+        # Mix two trajectory lengths to force padding.
+        from repro.data.dataset import TrajectoryDataset as TDS
+        short = [t for t in tiny_world.matched][:2]
+        trimmed = []
+        for t in short:
+            from repro.data import MatchedTrajectory
+            trimmed.append(MatchedTrajectory(t.traj_id, t.driver_id, t.epsilon,
+                                             t.points[:9]))
+        mixed = TDS.from_matched(trimmed + list(tiny_world.matched[2:4]),
+                                 tiny_world.grid, tiny_world.network, 0.25)
+        batch = mixed.full_batch()
+        lengths = batch.tgt_mask.sum(axis=1)
+        assert set(lengths.tolist()) == {9, 17}
+        # Padded steps must be masked out everywhere.
+        for i in range(batch.size):
+            assert not batch.observed_flags[i, int(lengths[i]):].any()
+
+    def test_full_batch_empty_raises(self, tiny_world):
+        empty = TrajectoryDataset([], tiny_world.grid, tiny_world.network, 0.25)
+        with pytest.raises(ValueError):
+            empty.full_batch()
+
+    def test_invalid_batch_size(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            next(tiny_dataset.batches(0))
+
+    def test_obs_feats_normalised(self, tiny_dataset):
+        batch = tiny_dataset.full_batch()
+        assert batch.obs_feats[batch.obs_mask].max() <= 1.0 + 1e-9
+        assert batch.obs_feats[batch.obs_mask].min() >= 0.0

@@ -1,0 +1,60 @@
+"""Property-based tests on dataset encoding invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TrajectoryDataset, downsample, encode_example, geolife_like
+
+WORLD = geolife_like(num_drivers=4, trajectories_per_driver=3,
+                     points_per_trajectory=17, seed=77)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    traj_index=st.integers(0, len(WORLD.matched) - 1),
+    keep=st.sampled_from([0.125, 0.25, 0.5]),
+)
+def test_property_guide_within_observed_hull(traj_index, keep):
+    """Guide positions are convex combinations of neighbouring observed
+    positions, so they stay inside the observed bounding box."""
+    example = encode_example(downsample(WORLD.matched[traj_index], keep),
+                             WORLD.grid, WORLD.network)
+    lo = example.obs_xy.min(axis=0) - 1e-9
+    hi = example.obs_xy.max(axis=0) + 1e-9
+    assert (example.guide_xy >= lo).all()
+    assert (example.guide_xy <= hi).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    traj_index=st.integers(0, len(WORLD.matched) - 1),
+    keep=st.sampled_from([0.125, 0.25]),
+)
+def test_property_encoding_consistency(traj_index, keep):
+    """Observed flags, counts, and label ranges are mutually consistent."""
+    traj = WORLD.matched[traj_index]
+    example = encode_example(downsample(traj, keep), WORLD.grid, WORLD.network)
+    assert example.observed_flags.sum() == example.num_observed
+    assert example.full_length == len(traj)
+    assert example.tgt_segments.min() >= 0
+    assert example.tgt_segments.max() < WORLD.network.num_segments
+    assert (example.tgt_ratios >= 0).all() and (example.tgt_ratios <= 1).all()
+    assert example.observed_flags[0] and example.observed_flags[-1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batch_size=st.integers(1, 7),
+    seed=st.integers(0, 1000),
+)
+def test_property_batching_partitions_dataset(batch_size, seed):
+    """Shuffled batching covers every example exactly once."""
+    dataset = TrajectoryDataset.from_matched(WORLD.matched, WORLD.grid,
+                                             WORLD.network, 0.25)
+    seen = []
+    for batch in dataset.batches(batch_size, rng=np.random.default_rng(seed)):
+        seen.extend(batch.traj_ids.tolist())
+    assert sorted(seen) == sorted(e.traj_id for e in dataset.examples)

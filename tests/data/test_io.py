@@ -1,0 +1,109 @@
+"""Tests for trajectory I/O (Geolife/T-Drive parsers, CSV round trip)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_trajectories_csv,
+    parse_geolife_plt,
+    parse_tdrive_txt,
+    save_trajectories_csv,
+)
+from repro.spatial import haversine_m
+
+GEOLIFE_SAMPLE = """Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.906631,116.385564,0,492,39882.1,2009-03-10,02:24:00
+39.906554,116.385625,0,492,39882.1,2009-03-10,02:25:00
+39.906478,116.385683,0,492,39882.1,2009-03-10,02:26:00
+bad,line,should,be,skipped,xx,yy
+39.906400,116.385740,0,492,39882.1,2009-03-10,02:27:00
+"""
+
+TDRIVE_SAMPLE = """1131,2008-02-02 13:33:52,116.36421,39.88781
+1131,2008-02-02 13:38:52,116.37481,39.88782
+1131,2008-02-02 13:38:52,116.37481,39.88782
+1131,2008-02-02 13:43:52,116.38541,39.88723
+not,a,valid
+1131,2008-02-02 13:48:52,116.39601,39.88664
+"""
+
+
+class TestGeolifeParser:
+    def test_parses_points_and_skips_bad_lines(self):
+        traj = parse_geolife_plt(GEOLIFE_SAMPLE, traj_id=7, driver_id=3)
+        assert len(traj) == 4
+        assert traj.traj_id == 7
+        assert traj.driver_id == 3
+
+    def test_timestamps_minute_spaced(self):
+        traj = parse_geolife_plt(GEOLIFE_SAMPLE)
+        deltas = np.diff([p.t for p in traj.points])
+        np.testing.assert_allclose(deltas, 60.0)
+
+    def test_planar_distances_match_haversine(self):
+        traj = parse_geolife_plt(GEOLIFE_SAMPLE)
+        p0, p1 = traj.points[0], traj.points[1]
+        planar = np.hypot(p1.x - p0.x, p1.y - p0.y)
+        true = haversine_m(39.906631, 116.385564, 39.906554, 116.385625)
+        assert abs(planar - true) / true < 0.02
+
+    def test_too_few_points_raise(self):
+        header = "\n".join(["h"] * 6)
+        with pytest.raises(ValueError):
+            parse_geolife_plt(header + "\n39.9,116.4,0,0,0,2009-01-01,00:00:00\n")
+
+
+class TestTDriveParser:
+    def test_parses_and_dedupes_timestamps(self):
+        traj = parse_tdrive_txt(TDRIVE_SAMPLE, traj_id=1)
+        assert len(traj) == 4  # duplicate timestamp dropped
+        assert traj.driver_id == 1131  # taxi id from the file
+
+    def test_driver_override(self):
+        traj = parse_tdrive_txt(TDRIVE_SAMPLE, driver_id=9)
+        assert traj.driver_id == 9
+
+    def test_monotone_time(self):
+        traj = parse_tdrive_txt(TDRIVE_SAMPLE)
+        times = [p.t for p in traj.points]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, tiny_world, tmp_path):
+        path = str(tmp_path / "trajs.csv")
+        original = tiny_world.raw[:5]
+        save_trajectories_csv(original, path)
+        loaded = load_trajectories_csv(path)
+        assert len(loaded) == 5
+        for a, b in zip(original, loaded):
+            assert a.traj_id == b.traj_id
+            assert a.driver_id == b.driver_id
+            assert len(a) == len(b)
+            for pa, pb in zip(a.points, b.points):
+                assert pa.x == pb.x and pa.y == pb.y and pa.t == pb.t
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as handle:
+            handle.write("traj_id,x,y\n1,0,0\n")
+        with pytest.raises(ValueError):
+            load_trajectories_csv(path)
+
+    def test_pipeline_from_csv_to_matching(self, tiny_world, tmp_path):
+        """Loaded CSV trajectories feed straight into the HMM matcher."""
+        from repro.mapmatch import HMMMapMatcher
+        path = str(tmp_path / "trajs.csv")
+        save_trajectories_csv(tiny_world.raw[:2], path)
+        loaded = load_trajectories_csv(path)
+        matcher = HMMMapMatcher(tiny_world.network)
+        matched = matcher.match(loaded[0])
+        assert len(matched) == len(loaded[0])

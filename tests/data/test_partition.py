@@ -1,0 +1,75 @@
+"""Tests for federated data partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import partition_dataset, partition_trajectories
+
+
+class TestByDriver:
+    def test_covers_all_trajectories(self, tiny_world):
+        shards = partition_dataset(tiny_world, 3)
+        total = sum(len(s) for s in shards)
+        assert total == len(tiny_world.matched)
+
+    def test_no_overlap(self, tiny_world):
+        shards = partition_dataset(tiny_world, 3)
+        ids = [t.traj_id for s in shards for t in s]
+        assert len(ids) == len(set(ids))
+
+    def test_drivers_not_split_across_clients(self, tiny_world):
+        shards = partition_dataset(tiny_world, 3)
+        seen: dict[int, int] = {}
+        for i, shard in enumerate(shards):
+            for traj in shard:
+                if traj.driver_id in seen:
+                    assert seen[traj.driver_id] == i
+                seen[traj.driver_id] = i
+
+    def test_too_many_clients(self, tiny_world):
+        with pytest.raises(ValueError):
+            partition_dataset(tiny_world, len(tiny_world.drivers) + 1)
+
+    def test_unknown_scheme(self, tiny_world):
+        with pytest.raises(ValueError):
+            partition_dataset(tiny_world, 2, scheme="dirichlet")
+
+    def test_non_iid_regional_structure(self, tiny_world):
+        """By-driver shards should concentrate spatially: the mean
+        pairwise home distance within a client is below the global one."""
+        shards = partition_dataset(tiny_world, 3)
+        homes = {d.driver_id: tiny_world.network.nodes[d.home_node]
+                 for d in tiny_world.drivers}
+
+        def mean_pairwise(points):
+            if len(points) < 2:
+                return 0.0
+            ds = [a.distance_to(b) for i, a in enumerate(points)
+                  for b in points[i + 1:]]
+            return float(np.mean(ds))
+
+        all_homes = list(homes.values())
+        within = []
+        for shard in shards:
+            shard_homes = list({homes[t.driver_id] for t in shard})
+            if len(shard_homes) >= 2:
+                within.append(mean_pairwise(shard_homes))
+        if within:  # degenerate shards may have one driver
+            assert np.mean(within) <= mean_pairwise(all_homes) + 1e-9
+
+
+class TestIID:
+    def test_even_sizes(self, tiny_world, fresh_rng):
+        shards = partition_trajectories(tiny_world.matched, 4, fresh_rng)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_clients_than_trajectories(self, tiny_world, fresh_rng):
+        with pytest.raises(ValueError):
+            partition_trajectories(tiny_world.matched[:2], 5, fresh_rng)
+
+    def test_iid_scheme_through_dataset_api(self, tiny_world):
+        shards = partition_dataset(tiny_world, 4, scheme="iid")
+        assert sum(len(s) for s in shards) == len(tiny_world.matched)

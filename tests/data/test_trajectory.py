@@ -1,0 +1,83 @@
+"""Tests for trajectory data types and their validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    IncompleteTrajectory,
+    MatchedPoint,
+    MatchedTrajectory,
+    RawPoint,
+    RawTrajectory,
+)
+
+
+def make_matched(n=8, epsilon=15.0):
+    points = tuple(MatchedPoint(segment_id=i % 3, ratio=0.5, t=i * epsilon, tid=i)
+                   for i in range(n))
+    return MatchedTrajectory(traj_id=1, driver_id=2, epsilon=epsilon, points=points)
+
+
+class TestRawTrajectory:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            RawTrajectory(0, 0, (RawPoint(0, 0, 0.0),))
+
+    def test_rejects_non_increasing_time(self):
+        pts = (RawPoint(0, 0, 0.0), RawPoint(1, 1, 0.0))
+        with pytest.raises(ValueError):
+            RawTrajectory(0, 0, pts)
+
+    def test_len(self):
+        pts = (RawPoint(0, 0, 0.0), RawPoint(1, 1, 1.0), RawPoint(2, 2, 2.0))
+        assert len(RawTrajectory(0, 0, pts)) == 3
+
+
+class TestMatchedTrajectory:
+    def test_accessors(self):
+        traj = make_matched(5)
+        assert traj.segment_ids() == [0, 1, 2, 0, 1]
+        assert traj.ratios() == [0.5] * 5
+        assert len(traj) == 5
+
+    def test_positive_epsilon_required(self):
+        points = make_matched(3).points
+        with pytest.raises(ValueError):
+            MatchedTrajectory(0, 0, epsilon=0.0, points=points)
+
+    def test_positions_on_network(self, tiny_world):
+        traj = tiny_world.matched[0]
+        positions = traj.positions(tiny_world.network)
+        assert len(positions) == len(traj)
+
+
+class TestIncompleteTrajectory:
+    def test_valid_construction(self):
+        traj = make_matched(9)
+        inc = IncompleteTrajectory(traj, observed_indices=(0, 4, 8))
+        assert inc.full_length == 9
+        assert inc.missing_indices == [1, 2, 3, 5, 6, 7]
+        assert len(inc.observed_points) == 3
+
+    def test_observed_flags(self):
+        traj = make_matched(5)
+        inc = IncompleteTrajectory(traj, observed_indices=(0, 2, 4))
+        assert inc.observed_flags() == [True, False, True, False, True]
+
+    def test_endpoints_must_be_observed(self):
+        traj = make_matched(6)
+        with pytest.raises(ValueError):
+            IncompleteTrajectory(traj, observed_indices=(1, 5))
+        with pytest.raises(ValueError):
+            IncompleteTrajectory(traj, observed_indices=(0, 3))
+
+    def test_indices_strictly_increasing(self):
+        traj = make_matched(6)
+        with pytest.raises(ValueError):
+            IncompleteTrajectory(traj, observed_indices=(0, 3, 3, 5))
+
+    def test_needs_two_observations(self):
+        traj = make_matched(4)
+        with pytest.raises(ValueError):
+            IncompleteTrajectory(traj, observed_indices=(0,))

@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_fig9_runs(self, capsys):
+        assert main(["fig9", "--scale", "tiny", "--datasets", "geolife"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_table5_runs(self, capsys):
+        assert main(["table5", "--scale", "tiny", "--datasets", "geolife"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "LightTR@" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--scale", "tiny", "--datasets", "geolife"]) == 0
+        out = capsys.readouterr().out
+        assert "FLOPs" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_experiment_list_covers_paper(self):
+        assert set(EXPERIMENTS) == {"table4", "table5", "table6", "fig5",
+                                    "fig6", "fig7", "fig8", "fig9", "fig10"}

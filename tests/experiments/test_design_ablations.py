@@ -1,0 +1,35 @@
+"""Tests for the design-choice ablation harness entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SCALES, ExperimentContext, run_design_ablations
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(SCALES["tiny"])
+
+
+class TestDesignAblations:
+    def test_three_variants_per_dataset(self, context):
+        runs = run_design_ablations(context, datasets=("geolife",),
+                                    keep_ratio=0.25)
+        assert [r.method for r in runs] == [
+            "LightTR (full)", "fixed lambda", "no constraint mask",
+        ]
+
+    def test_mask_removal_degrades_recall(self, context):
+        runs = run_design_ablations(context, datasets=("geolife",),
+                                    keep_ratio=0.25)
+        by_method = {r.method: r.metrics for r in runs}
+        assert (by_method["LightTR (full)"].recall
+                > by_method["no constraint mask"].recall)
+
+    def test_identity_mask_builder_cached_separately(self, context):
+        normal = context.mask_builder("geolife")
+        identity = context.mask_builder("geolife", identity=True)
+        assert normal is not identity
+        assert identity.identity
+        assert context.mask_builder("geolife", identity=True) is identity

@@ -1,0 +1,101 @@
+"""Tests for the experiment harness (tiny-scale runs of each entry point)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    ExperimentContext,
+    run_ablation,
+    run_case_study,
+    run_centralized_comparison,
+    run_client_count_sweep,
+    run_convergence,
+    run_fraction_sweep,
+    run_overall_comparison,
+    run_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(SCALES["tiny"])
+
+
+class TestContext:
+    def test_dataset_cached(self, context):
+        assert context.dataset("geolife") is context.dataset("geolife")
+
+    def test_unknown_dataset(self, context):
+        with pytest.raises(ValueError):
+            context.dataset("porto")
+
+    def test_federation_cached(self, context):
+        a = context.federation("geolife", 0.25)
+        b = context.federation("geolife", 0.25)
+        assert a is b
+
+    def test_model_config_matches_world(self, context):
+        config = context.model_config("geolife")
+        ds = context.dataset("geolife")
+        assert config.num_segments == ds.network.num_segments
+        assert config.num_cells == ds.grid.num_cells
+
+    def test_run_method_returns_complete_run(self, context):
+        run = context.run_method("FC+FL", "geolife", 0.25)
+        assert run.method == "FC+FL"
+        assert run.comm_bytes > 0
+        assert run.elapsed_seconds > 0
+        assert len(run.history) == SCALES["tiny"].rounds
+        row = run.as_row()
+        assert set(row) >= {"method", "dataset", "recall", "mae", "comm_mb"}
+
+
+class TestEntryPoints:
+    def test_overall_comparison_row_count(self, context):
+        runs = run_overall_comparison(context, datasets=("geolife",),
+                                      keep_ratios=(0.25,),
+                                      methods=("FC+FL", "LightTR"))
+        assert len(runs) == 2
+
+    def test_client_count_sweep(self, context):
+        runs = run_client_count_sweep(context, datasets=("geolife",),
+                                      client_counts=(2, 3), keep_ratio=0.25)
+        assert [r.method for r in runs] == ["LightTR@2clients", "LightTR@3clients"]
+
+    def test_fraction_sweep(self, context):
+        runs = run_fraction_sweep(context, datasets=("geolife",),
+                                  fractions=(0.5, 1.0), keep_ratio=0.25)
+        assert len(runs) == 2
+
+    def test_centralized_comparison_pairs(self, context):
+        runs = run_centralized_comparison(context, datasets=("geolife",),
+                                          keep_ratios=(0.25,))
+        methods = [r.method for r in runs]
+        assert "MTrajRec(centralized)" in methods
+        assert "LightTR" in methods
+
+    def test_ablation_variants(self, context):
+        runs = run_ablation(context, datasets=("geolife",), keep_ratio=0.25)
+        assert [r.method for r in runs] == ["w/o FL", "w/o LS", "w/o Meta",
+                                            "LightTR"]
+
+    def test_sensitivity_sweep(self, context):
+        runs = run_sensitivity(context, datasets=("geolife",),
+                               lambdas=(1.0,), thresholds=(0.4,), keep_ratio=0.25)
+        assert [r.method for r in runs] == ["lambda=1.0", "lt=0.4"]
+
+    def test_case_study_outputs(self, context):
+        result = run_case_study(context, dataset_name="geolife",
+                                keep_ratio=0.25, methods=("LightTR",))
+        assert result["ground_truth"].ndim == 2
+        assert result["observed"].shape[1] == 2
+        assert "LightTR" in result["predictions"]
+        assert len(result["predictions"]["LightTR"]) == len(result["ground_truth"])
+
+    def test_convergence_curves(self, context):
+        curves = run_convergence(context, dataset_name="geolife",
+                                 keep_ratio=0.25, methods=("RNN+FL",), rounds=2)
+        assert len(curves["RNN+FL"]) == 2

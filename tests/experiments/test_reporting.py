@@ -1,0 +1,65 @@
+"""Tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    MethodRun,
+    ascii_scatter,
+    format_comparison_table,
+    format_curves,
+    format_table,
+)
+from repro.metrics import MetricRow
+
+
+def make_run(method="LightTR", dataset="geolife", keep=0.125):
+    return MethodRun(
+        method=method, dataset=dataset, keep_ratio=keep,
+        metrics=MetricRow(recall=0.7, precision=0.68, mae=0.33, rmse=0.44,
+                          accuracy=0.6),
+        elapsed_seconds=1.5, comm_bytes=1_000_000,
+    )
+
+
+class TestTables:
+    def test_format_table_contains_values(self):
+        text = format_table([make_run()], title="Table IV")
+        assert "Table IV" in text
+        assert "LightTR" in text
+        assert "0.700" in text
+        assert "0.330" in text
+
+    def test_comparison_table_groups_by_dataset(self):
+        runs = [make_run(dataset="geolife"), make_run(dataset="tdrive")]
+        text = format_comparison_table(runs, title="Overall")
+        assert "[geolife]" in text and "[tdrive]" in text
+        assert "R@12.5%" in text
+
+    def test_missing_cells_dashed(self):
+        runs = [make_run(keep=0.125), make_run(method="FC+FL", keep=0.25)]
+        text = format_comparison_table(runs)
+        assert "-" in text
+
+
+class TestFigures:
+    def test_ascii_scatter_markers(self):
+        points = {
+            "truth": np.array([[0.0, 0.0], [1.0, 1.0]]),
+            "pred": np.array([[0.5, 0.5]]),
+        }
+        art = ascii_scatter(points, width=20, height=10, title="Case")
+        assert "Case" in art
+        assert "t" in art and "p" in art
+        assert "t=truth" in art
+
+    def test_format_curves_sparkline(self):
+        text = format_curves({"LightTR": [0.1, 0.3, 0.5]}, title="Convergence")
+        assert "Convergence" in text
+        assert "first=0.100" in text
+        assert "last=0.500" in text
+
+    def test_empty_curve_handled(self):
+        text = format_curves({"x": []})
+        assert "no data" in text

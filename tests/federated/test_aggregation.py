@@ -1,0 +1,96 @@
+"""Tests for parameter aggregation."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated import average_states, fedavg
+
+
+def state(value, shape=(2, 2)):
+    return OrderedDict([("w", np.full(shape, float(value))),
+                        ("b", np.full((3,), float(value)))])
+
+
+class TestAverageStates:
+    def test_uniform_mean(self):
+        result = average_states([state(1.0), state(3.0)])
+        np.testing.assert_allclose(result["w"], 2.0)
+        np.testing.assert_allclose(result["b"], 2.0)
+
+    def test_weighted(self):
+        result = average_states([state(0.0), state(4.0)], weights=[3.0, 1.0])
+        np.testing.assert_allclose(result["w"], 1.0)
+
+    def test_single_state_identity(self):
+        result = average_states([state(7.0)])
+        np.testing.assert_allclose(result["w"], 7.0)
+
+    def test_key_mismatch_raises(self):
+        bad = OrderedDict([("w", np.zeros((2, 2)))])  # missing "b"
+        with pytest.raises(KeyError):
+            average_states([state(1.0), bad])
+
+    def test_shape_mismatch_raises(self):
+        bad = state(1.0)
+        bad["w"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            average_states([state(1.0), bad])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_states([])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            average_states([state(1.0)], weights=[0.0])
+
+    def test_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            average_states([state(1.0)], weights=[1.0, 2.0])
+
+    def test_result_is_independent_copy(self):
+        s = state(1.0)
+        result = average_states([s])
+        result["w"][:] = 99.0
+        np.testing.assert_allclose(s["w"], 1.0)
+
+
+class TestFedAvg:
+    def test_example_count_weighting(self):
+        result = fedavg([state(0.0), state(10.0)], num_examples=[9, 1])
+        np.testing.assert_allclose(result["w"], 1.0)
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            fedavg([state(1.0)], num_examples=[0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=6),
+)
+def test_property_average_within_bounds(values):
+    """The mean of states lies between the min and max client values."""
+    result = average_states([state(v) for v in values])
+    assert result["w"].min() >= min(values) - 1e-9
+    assert result["w"].max() <= max(values) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=5),
+    seed=st.integers(0, 100),
+)
+def test_property_average_is_permutation_invariant(values, seed):
+    states = [state(v) for v in values]
+    shuffled = list(states)
+    np.random.default_rng(seed).shuffle(shuffled)
+    a = average_states(states)
+    b = average_states(shuffled)
+    np.testing.assert_allclose(a["w"], b["w"])

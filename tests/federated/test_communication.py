@@ -1,0 +1,46 @@
+"""Tests for the communication ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated import CommunicationLedger
+
+
+def state(n):
+    return {"w": np.zeros((n, n))}
+
+
+class TestLedger:
+    def test_round_cost_math(self):
+        ledger = CommunicationLedger()
+        cost = ledger.record_round(0, state(10), [state(10), state(10)])
+        payload = 10 * 10 * 8
+        assert cost.bytes_down == payload * 2  # broadcast to 2 clients
+        assert cost.bytes_up == payload * 2
+        assert cost.total_bytes == payload * 4
+
+    def test_accumulates_rounds(self):
+        ledger = CommunicationLedger()
+        ledger.record_round(0, state(4), [state(4)])
+        ledger.record_round(1, state(4), [state(4), state(4)])
+        assert ledger.num_rounds == 2
+        assert ledger.total_bytes == sum(r.total_bytes for r in ledger.rounds)
+
+    def test_bytes_per_round(self):
+        ledger = CommunicationLedger()
+        assert ledger.bytes_per_round() == 0.0
+        ledger.record_round(0, state(2), [state(2)])
+        assert ledger.bytes_per_round() == ledger.total_bytes
+
+    def test_bigger_models_cost_more(self):
+        small, large = CommunicationLedger(), CommunicationLedger()
+        small.record_round(0, state(4), [state(4)])
+        large.record_round(0, state(16), [state(16)])
+        assert large.total_bytes > small.total_bytes
+
+    def test_more_clients_cost_more(self):
+        few, many = CommunicationLedger(), CommunicationLedger()
+        few.record_round(0, state(8), [state(8)] * 2)
+        many.record_round(0, state(8), [state(8)] * 5)
+        assert many.total_bytes > few.total_bytes

@@ -1,0 +1,121 @@
+"""Tests for the differential-privacy Gaussian mechanism."""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.federated import GaussianMechanism
+
+
+def states(delta_scale=1.0):
+    global_state = OrderedDict([("w", np.zeros((4, 4))), ("b", np.zeros(4))])
+    local_state = OrderedDict([("w", np.full((4, 4), delta_scale)),
+                               ("b", np.full(4, delta_scale))])
+    return local_state, global_state
+
+
+class TestClipping:
+    def test_small_update_unchanged_without_noise(self, fresh_rng):
+        mech = GaussianMechanism(clip_norm=100.0, noise_multiplier=0.0,
+                                 rng=fresh_rng)
+        local, global_ = states(0.1)
+        private = mech.privatize_update(local, global_)
+        for key in local:
+            np.testing.assert_allclose(private[key], local[key])
+
+    def test_large_update_clipped_to_norm(self, fresh_rng):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0,
+                                 rng=fresh_rng)
+        local, global_ = states(10.0)
+        private = mech.privatize_update(local, global_)
+        total = math.sqrt(sum(
+            float(((private[k] - global_[k]) ** 2).sum()) for k in local
+        ))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_preserves_direction(self, fresh_rng):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0,
+                                 rng=fresh_rng)
+        local, global_ = states(5.0)
+        private = mech.privatize_update(local, global_)
+        delta = private["w"] - global_["w"]
+        assert (delta > 0).all()  # same sign as the raw update
+
+
+class TestNoise:
+    def test_noise_changes_update(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=1.0,
+                                 rng=np.random.default_rng(0))
+        local, global_ = states(0.01)
+        private = mech.privatize_update(local, global_)
+        assert not np.allclose(private["w"], local["w"])
+
+    def test_noise_scale_matches_sigma(self):
+        mech = GaussianMechanism(clip_norm=2.0, noise_multiplier=3.0,
+                                 rng=np.random.default_rng(1))
+        global_state = OrderedDict([("w", np.zeros(200_00))])
+        local_state = OrderedDict([("w", np.zeros(200_00))])
+        private = mech.privatize_update(local_state, global_state)
+        assert np.std(private["w"]) == pytest.approx(6.0, rel=0.05)
+
+    def test_key_mismatch_raises(self, fresh_rng):
+        mech = GaussianMechanism(1.0, 0.0, fresh_rng)
+        with pytest.raises(KeyError):
+            mech.privatize_update({"w": np.zeros(2)}, {"v": np.zeros(2)})
+
+
+class TestAccounting:
+    def test_epsilon_decreases_with_noise(self, fresh_rng):
+        low = GaussianMechanism(1.0, 0.5, fresh_rng).epsilon_estimate(10)
+        high = GaussianMechanism(1.0, 2.0, fresh_rng).epsilon_estimate(10)
+        assert high < low
+
+    def test_epsilon_grows_with_rounds(self, fresh_rng):
+        mech = GaussianMechanism(1.0, 1.0, fresh_rng)
+        assert mech.epsilon_estimate(20) > mech.epsilon_estimate(5)
+
+    def test_no_noise_infinite_epsilon(self, fresh_rng):
+        mech = GaussianMechanism(1.0, 0.0, fresh_rng)
+        assert math.isinf(mech.epsilon_estimate(1))
+
+    def test_invalid_args(self, fresh_rng):
+        with pytest.raises(ValueError):
+            GaussianMechanism(0.0, 1.0, fresh_rng)
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0, -1.0, fresh_rng)
+        mech = GaussianMechanism(1.0, 1.0, fresh_rng)
+        with pytest.raises(ValueError):
+            mech.epsilon_estimate(0)
+        with pytest.raises(ValueError):
+            mech.epsilon_estimate(1, delta=2.0)
+
+
+class TestIntegration:
+    def test_federated_run_with_dp(self, tiny_world, tiny_config):
+        """A DP run completes and (with mild noise) still trains."""
+        from repro.core import ConstraintMaskBuilder, LTEModel, TrainingConfig
+        from repro.federated import (FederatedConfig, FederatedTrainer,
+                                     build_federation)
+
+        clients, global_test = build_federation(tiny_world, num_clients=3,
+                                                keep_ratio=0.25)
+        mask = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+
+        def factory():
+            return LTEModel(tiny_config, np.random.default_rng(2))
+
+        config = FederatedConfig(rounds=2, local_epochs=1,
+                                 training=TrainingConfig(epochs=1, batch_size=8,
+                                                         lr=3e-3),
+                                 use_meta=False)
+        mech = GaussianMechanism(clip_norm=10.0, noise_multiplier=1e-4,
+                                 rng=np.random.default_rng(7))
+        result = FederatedTrainer(factory, clients, mask, config, global_test,
+                                  seed=0, privatizer=mech).run()
+        assert len(result.history) == 2
+        assert 0.0 <= result.history[-1].global_accuracy <= 1.0
+        assert math.isfinite(mech.epsilon_estimate(2))

@@ -1,0 +1,100 @@
+"""Tests for the federated server and client."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LTEModel, TrainingConfig
+from repro.federated import ClientData, FederatedClient, FederatedServer
+
+
+@pytest.fixture()
+def splits(tiny_dataset, fresh_rng):
+    train, valid, test = tiny_dataset.split((0.6, 0.2, 0.2), rng=fresh_rng)
+    return ClientData(train=train, valid=valid, test=test)
+
+
+class TestServer:
+    def test_select_fraction_count(self, tiny_config):
+        server = FederatedServer(LTEModel(tiny_config, np.random.default_rng(0)))
+        rng = np.random.default_rng(1)
+        picks = server.select_clients(10, 0.5, rng)
+        assert len(picks) == 5
+        assert len(set(picks)) == 5
+        assert all(0 <= p < 10 for p in picks)
+
+    def test_select_minimum_one(self, tiny_config):
+        server = FederatedServer(LTEModel(tiny_config, np.random.default_rng(0)))
+        picks = server.select_clients(10, 0.01, np.random.default_rng(1))
+        assert len(picks) == 1
+
+    def test_select_invalid_fraction(self, tiny_config):
+        server = FederatedServer(LTEModel(tiny_config, np.random.default_rng(0)))
+        with pytest.raises(ValueError):
+            server.select_clients(10, 0.0, np.random.default_rng(1))
+
+    def test_aggregate_updates_global(self, tiny_config):
+        server = FederatedServer(LTEModel(tiny_config, np.random.default_rng(0)))
+        a = LTEModel(tiny_config, np.random.default_rng(1)).state_dict()
+        b = LTEModel(tiny_config, np.random.default_rng(2)).state_dict()
+        server.aggregate([a, b])
+        merged = server.global_state()
+        for key in merged:
+            np.testing.assert_allclose(merged[key], (a[key] + b[key]) / 2)
+
+
+class TestClient:
+    def test_receive_loads_weights(self, tiny_config, splits, tiny_mask, fresh_rng):
+        client = FederatedClient(0, splits,
+                                 LTEModel(tiny_config, np.random.default_rng(4)),
+                                 tiny_mask, TrainingConfig(epochs=1, batch_size=8),
+                                 fresh_rng)
+        incoming = LTEModel(tiny_config, np.random.default_rng(9)).state_dict()
+        client.receive_global(incoming)
+        for key, value in client.model.state_dict().items():
+            np.testing.assert_allclose(value, incoming[key])
+
+    def test_local_train_returns_state_and_metrics(self, tiny_config, splits,
+                                                   tiny_mask, fresh_rng):
+        client = FederatedClient(0, splits,
+                                 LTEModel(tiny_config, np.random.default_rng(4)),
+                                 tiny_mask,
+                                 TrainingConfig(epochs=1, batch_size=8, lr=3e-3),
+                                 fresh_rng)
+        state, metrics = client.local_train(epochs=1)
+        assert set(metrics) == {"loss", "lambda", "num_examples"}
+        assert metrics["lambda"] == 0.0  # no distiller given
+        assert metrics["num_examples"] == len(splits.train)
+        assert set(state) == set(client.model.state_dict())
+
+    def test_training_changes_weights(self, tiny_config, splits, tiny_mask,
+                                      fresh_rng):
+        client = FederatedClient(0, splits,
+                                 LTEModel(tiny_config, np.random.default_rng(4)),
+                                 tiny_mask,
+                                 TrainingConfig(epochs=1, batch_size=8, lr=3e-3),
+                                 fresh_rng)
+        before = client.model.state_dict()
+        client.local_train(epochs=1)
+        after = client.model.state_dict()
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed
+
+    def test_empty_train_data_rejected(self, tiny_config, tiny_dataset, tiny_mask,
+                                       fresh_rng):
+        from repro.data import TrajectoryDataset
+        empty = TrajectoryDataset([], tiny_dataset.grid, tiny_dataset.network, 0.25)
+        data = ClientData(train=empty, valid=empty, test=empty)
+        with pytest.raises(ValueError):
+            FederatedClient(0, data, LTEModel(tiny_config, np.random.default_rng(0)),
+                            tiny_mask, TrainingConfig(), fresh_rng)
+
+    def test_accuracies_in_unit_interval(self, tiny_config, splits, tiny_mask,
+                                         fresh_rng):
+        client = FederatedClient(0, splits,
+                                 LTEModel(tiny_config, np.random.default_rng(4)),
+                                 tiny_mask, TrainingConfig(epochs=1, batch_size=8),
+                                 fresh_rng)
+        assert 0.0 <= client.validation_accuracy() <= 1.0
+        assert 0.0 <= client.test_accuracy() <= 1.0

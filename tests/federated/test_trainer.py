@@ -1,0 +1,131 @@
+"""Integration tests for the federated trainer (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder, LTEModel, TrainingConfig
+from repro.federated import (
+    FederatedConfig,
+    FederatedTrainer,
+    build_federation,
+    train_isolated_then_average,
+)
+
+
+@pytest.fixture(scope="module")
+def federation(tiny_world):
+    clients, global_test = build_federation(tiny_world, num_clients=3,
+                                            keep_ratio=0.25)
+    return clients, global_test
+
+
+@pytest.fixture(scope="module")
+def mask(tiny_world):
+    return ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+
+
+def lte_factory(config):
+    def factory():
+        return LTEModel(config, np.random.default_rng(33))
+    return factory
+
+
+def small_config(rounds=2, use_meta=False, fraction=1.0):
+    return FederatedConfig(
+        rounds=rounds, client_fraction=fraction, local_epochs=1,
+        training=TrainingConfig(epochs=1, batch_size=8, lr=3e-3),
+        use_meta=use_meta,
+    )
+
+
+class TestBuildFederation:
+    def test_counts(self, federation, tiny_world):
+        clients, global_test = federation
+        assert len(clients) == 3
+        total = sum(len(c.train) + len(c.valid) + len(c.test) for c in clients)
+        # valid may alias train for tiny shards; just check trains are nonempty
+        assert all(len(c.train) > 0 for c in clients)
+        assert len(global_test) > 0
+
+    def test_too_many_clients(self, tiny_world):
+        with pytest.raises(ValueError):
+            build_federation(tiny_world, num_clients=100, keep_ratio=0.25)
+
+
+class TestFederatedTrainer:
+    def test_run_produces_history_and_comm(self, federation, mask, tiny_config):
+        clients, global_test = federation
+        trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
+                                   small_config(rounds=2), global_test, seed=0)
+        result = trainer.run()
+        assert len(result.history) == 2
+        assert result.ledger.num_rounds == 2
+        assert result.teacher_result is None
+        for record in result.history:
+            assert 0.0 <= record.global_accuracy <= 1.0
+            assert record.selected_clients == (0, 1, 2)
+
+    def test_meta_trains_teacher(self, federation, mask, tiny_config):
+        clients, global_test = federation
+        trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
+                                   small_config(rounds=1, use_meta=True),
+                                   global_test, seed=0)
+        result = trainer.run()
+        assert result.teacher_result is not None
+        assert len(result.teacher_result.accepted) == len(clients)
+
+    def test_client_fraction_selects_subset(self, federation, mask, tiny_config):
+        clients, global_test = federation
+        trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
+                                   small_config(rounds=3, fraction=0.34),
+                                   global_test, seed=0)
+        result = trainer.run()
+        for record in result.history:
+            assert len(record.selected_clients) == 2  # ceil(0.34*3)
+
+    def test_aggregation_moves_global_model(self, federation, mask, tiny_config):
+        clients, global_test = federation
+        trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
+                                   small_config(rounds=1), global_test, seed=0)
+        before = trainer.server.global_state()
+        result = trainer.run()
+        after = result.global_model.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_training_improves_over_initial(self, federation, mask, tiny_config):
+        from repro.core.training import model_segment_accuracy
+        clients, global_test = federation
+        initial = lte_factory(tiny_config)()
+        initial_acc = model_segment_accuracy(initial, mask, global_test)
+        trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
+                                   small_config(rounds=4), global_test, seed=0)
+        result = trainer.run()
+        assert result.history[-1].global_accuracy >= initial_acc - 0.05
+
+    def test_no_clients_rejected(self, mask, tiny_config, federation):
+        _, global_test = federation
+        with pytest.raises(ValueError):
+            FederatedTrainer(lte_factory(tiny_config), [], mask,
+                             small_config(), global_test)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(rounds=0)
+        with pytest.raises(ValueError):
+            FederatedConfig(client_fraction=1.5)
+        with pytest.raises(ValueError):
+            FederatedConfig(aggregation="median")
+
+
+class TestIsolatedAblation:
+    def test_runs_and_reports_single_exchange(self, federation, mask, tiny_config):
+        clients, global_test = federation
+        result = train_isolated_then_average(
+            lte_factory(tiny_config), clients, mask, small_config(rounds=2),
+            global_test, seed=0,
+        )
+        assert len(result.history) == 1
+        assert result.ledger.num_rounds == 1
+        assert result.teacher_result is None

@@ -1,0 +1,88 @@
+"""Tests for recall/precision metrics (Eq. 19)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import pointwise_accuracy, recall_precision
+
+
+class TestRecallPrecision:
+    def test_perfect_prediction(self):
+        true = np.array([[1, 2, 3, 4]])
+        mask = np.ones_like(true, dtype=bool)
+        recall, precision = recall_precision(true, true, mask)
+        assert recall == 1.0 and precision == 1.0
+
+    def test_hand_computed_example(self):
+        pred = np.array([[1, 1, 2, 9]])
+        true = np.array([[1, 2, 3, 3]])
+        mask = np.ones_like(true, dtype=bool)
+        # P = {1, 2, 9}, G = {1, 2, 3}; overlap = {1, 2}.
+        recall, precision = recall_precision(pred, true, mask)
+        assert recall == pytest.approx(2 / 3)
+        assert precision == pytest.approx(2 / 3)
+
+    def test_mask_excludes_points(self):
+        pred = np.array([[1, 9]])
+        true = np.array([[1, 2]])
+        mask = np.array([[True, False]])
+        recall, precision = recall_precision(pred, true, mask)
+        assert recall == 1.0 and precision == 1.0
+
+    def test_averaged_over_trajectories(self):
+        pred = np.array([[1, 1], [9, 9]])
+        true = np.array([[1, 1], [2, 2]])
+        mask = np.ones_like(true, dtype=bool)
+        recall, _ = recall_precision(pred, true, mask)
+        assert recall == pytest.approx(0.5)  # (1.0 + 0.0) / 2
+
+    def test_all_masked_raises(self):
+        a = np.zeros((2, 3), dtype=int)
+        with pytest.raises(ValueError):
+            recall_precision(a, a, np.zeros((2, 3), dtype=bool))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            recall_precision(np.zeros((1, 2), int), np.zeros((2, 2), int),
+                             np.ones((1, 2), bool))
+
+    def test_trajectories_without_eval_points_skipped(self):
+        pred = np.array([[1, 2], [5, 5]])
+        true = np.array([[1, 2], [7, 7]])
+        mask = np.array([[True, True], [False, False]])
+        recall, _ = recall_precision(pred, true, mask)
+        assert recall == 1.0  # second trajectory ignored
+
+
+class TestPointwise:
+    def test_value(self):
+        pred = np.array([[1, 2, 3]])
+        true = np.array([[1, 0, 3]])
+        mask = np.ones((1, 3), dtype=bool)
+        assert pointwise_accuracy(pred, true, mask) == pytest.approx(2 / 3)
+
+    def test_empty_mask_raises(self):
+        a = np.zeros((1, 2), int)
+        with pytest.raises(ValueError):
+            pointwise_accuracy(a, a, np.zeros((1, 2), bool))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    b=st.integers(1, 4), t=st.integers(1, 8),
+    vocab=st.integers(1, 10), seed=st.integers(0, 10_000),
+)
+def test_property_metrics_bounded_and_perfect_on_self(b, t, vocab, seed):
+    r = np.random.default_rng(seed)
+    true = r.integers(0, vocab, size=(b, t))
+    pred = r.integers(0, vocab, size=(b, t))
+    mask = np.ones((b, t), dtype=bool)
+    recall, precision = recall_precision(pred, true, mask)
+    assert 0.0 <= recall <= 1.0
+    assert 0.0 <= precision <= 1.0
+    r2, p2 = recall_precision(true, true, mask)
+    assert r2 == 1.0 and p2 == 1.0

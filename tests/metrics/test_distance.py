@@ -1,0 +1,90 @@
+"""Tests for road-network distance metrics (Eq. 20)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import mae_rmse, point_distance
+from repro.spatial import Point, RoadNetwork, RoadSegment
+
+
+@pytest.fixture(scope="module")
+def line():
+    nodes = {0: Point(0, 0), 1: Point(1000, 0), 2: Point(2000, 0)}
+    segs = []
+    for u, v in ((0, 1), (1, 0), (1, 2), (2, 1)):
+        segs.append(RoadSegment(len(segs), u, v, nodes[u], nodes[v]))
+    return RoadNetwork(nodes, segs)
+
+
+class TestPointDistance:
+    def test_zero_for_same_point(self, line):
+        assert point_distance(line, 0, 0.5, 0, 0.5) == 0.0
+
+    def test_forward_along_segment(self, line):
+        assert point_distance(line, 0, 0.2, 0, 0.5) == pytest.approx(300.0)
+
+    def test_symmetric_takes_min(self, line):
+        d_ab = point_distance(line, 0, 0.5, 2, 0.5)
+        d_ba = point_distance(line, 2, 0.5, 0, 0.5)
+        assert d_ab == d_ba  # min of both directions, same either way
+
+    def test_euclidean_fallback_when_unreachable(self):
+        nodes = {0: Point(0, 0), 1: Point(100, 0), 2: Point(0, 300), 3: Point(100, 300)}
+        segs = [RoadSegment(0, 0, 1, nodes[0], nodes[1]),
+                RoadSegment(1, 2, 3, nodes[2], nodes[3])]
+        net = RoadNetwork(nodes, segs)
+        d = point_distance(net, 0, 0.0, 1, 0.0)
+        assert d == pytest.approx(300.0)
+
+
+class TestMaeRmse:
+    def test_zero_for_perfect(self, line):
+        segs = np.array([[0, 2]])
+        ratios = np.array([[0.3, 0.7]])
+        mask = np.ones((1, 2), dtype=bool)
+        mae, rmse = mae_rmse(line, segs, ratios, segs, ratios, mask)
+        assert mae == 0.0 and rmse == 0.0
+
+    def test_km_unit(self, line):
+        pred_s = np.array([[0]])
+        true_s = np.array([[0]])
+        pred_r = np.array([[0.0]])
+        true_r = np.array([[0.5]])  # 500 m apart
+        mask = np.ones((1, 1), dtype=bool)
+        mae_km, _ = mae_rmse(line, pred_s, pred_r, true_s, true_r, mask, unit="km")
+        mae_m, _ = mae_rmse(line, pred_s, pred_r, true_s, true_r, mask, unit="m")
+        assert mae_km == pytest.approx(0.5)
+        assert mae_m == pytest.approx(500.0)
+
+    def test_rmse_at_least_mae(self, line, fresh_rng):
+        b, t = 3, 4
+        pred_s = fresh_rng.integers(0, 4, size=(b, t))
+        true_s = fresh_rng.integers(0, 4, size=(b, t))
+        pred_r = fresh_rng.uniform(0, 1, size=(b, t))
+        true_r = fresh_rng.uniform(0, 1, size=(b, t))
+        mask = np.ones((b, t), dtype=bool)
+        mae, rmse = mae_rmse(line, pred_s, pred_r, true_s, true_r, mask)
+        assert rmse >= mae - 1e-12
+
+    def test_mask_restricts_evaluation(self, line):
+        pred_s = np.array([[0, 0]])
+        true_s = np.array([[0, 0]])
+        pred_r = np.array([[0.0, 0.0]])
+        true_r = np.array([[0.0, 1.0]])
+        only_first = np.array([[True, False]])
+        mae, _ = mae_rmse(line, pred_s, pred_r, true_s, true_r, only_first)
+        assert mae == 0.0
+
+    def test_empty_mask_raises(self, line):
+        z = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mae_rmse(line, z.astype(int), z, z.astype(int), z,
+                     np.zeros((1, 1), bool))
+
+    def test_unknown_unit(self, line):
+        z = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mae_rmse(line, z.astype(int), z, z.astype(int), z,
+                     np.ones((1, 1), bool), unit="miles")

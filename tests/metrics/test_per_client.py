@@ -1,0 +1,60 @@
+"""Tests for per-client (heterogeneity) evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder, LTEModel
+from repro.federated import build_federation
+from repro.metrics import MetricRow, evaluate_per_client, heterogeneity_summary
+
+
+class TestPerClient:
+    def test_one_row_per_client(self, tiny_world, tiny_config):
+        clients, _ = build_federation(tiny_world, num_clients=3, keep_ratio=0.25)
+        mask = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+        model = LTEModel(tiny_config, np.random.default_rng(0))
+        rows = evaluate_per_client(model, mask, [c.train for c in clients])
+        assert len(rows) == 3
+        for row in rows:
+            assert 0.0 <= row.recall <= 1.0
+
+    def test_summary_statistics(self):
+        rows = [
+            MetricRow(recall=0.4, precision=0.4, mae=0.3, rmse=0.4, accuracy=0.3),
+            MetricRow(recall=0.8, precision=0.8, mae=0.2, rmse=0.3, accuracy=0.7),
+        ]
+        summary = heterogeneity_summary(rows)
+        assert summary["mean_recall"] == pytest.approx(0.6)
+        assert summary["worst_recall"] == pytest.approx(0.4)
+        assert summary["best_recall"] == pytest.approx(0.8)
+        assert summary["std_recall"] == pytest.approx(0.2)
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError):
+            heterogeneity_summary([])
+
+    def test_global_model_serves_all_clients(self, tiny_world, tiny_config):
+        """After federated training, no client should be catastrophically
+        underserved relative to the mean (Non-IID robustness)."""
+        from repro.core import TrainingConfig
+        from repro.federated import FederatedConfig, FederatedTrainer
+
+        clients, global_test = build_federation(tiny_world, num_clients=3,
+                                                keep_ratio=0.25)
+        mask = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+
+        def factory():
+            return LTEModel(tiny_config, np.random.default_rng(1))
+
+        config = FederatedConfig(rounds=3, local_epochs=1,
+                                 training=TrainingConfig(epochs=1, batch_size=8,
+                                                         lr=3e-3),
+                                 use_meta=False)
+        result = FederatedTrainer(factory, clients, mask, config, global_test,
+                                  seed=0).run()
+        rows = evaluate_per_client(result.global_model, mask,
+                                   [c.train for c in clients])
+        summary = heterogeneity_summary(rows)
+        assert summary["worst_recall"] >= summary["mean_recall"] - 0.45

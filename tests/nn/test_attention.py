@@ -1,0 +1,82 @@
+"""Tests for attention operators (baseline building blocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestScaledDotProduct:
+    def test_shapes_and_weight_normalisation(self, fresh_rng):
+        q = Tensor(fresh_rng.standard_normal((2, 4, 8)))
+        k = Tensor(fresh_rng.standard_normal((2, 6, 8)))
+        v = Tensor(fresh_rng.standard_normal((2, 6, 8)))
+        out, weights = nn.scaled_dot_product_attention(q, k, v)
+        assert out.shape == (2, 4, 8)
+        assert weights.shape == (2, 4, 6)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0)
+
+    def test_identical_keys_give_uniform_weights(self, fresh_rng):
+        q = Tensor(fresh_rng.standard_normal((1, 2, 4)))
+        k = Tensor(np.tile(fresh_rng.standard_normal((1, 1, 4)), (1, 5, 1)))
+        v = Tensor(fresh_rng.standard_normal((1, 5, 4)))
+        _, weights = nn.scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(weights.data, 0.2, atol=1e-12)
+
+    def test_gradients_flow_to_all_inputs(self, fresh_rng):
+        q = Tensor(fresh_rng.standard_normal((1, 3, 4)), requires_grad=True)
+        k = Tensor(fresh_rng.standard_normal((1, 5, 4)), requires_grad=True)
+        v = Tensor(fresh_rng.standard_normal((1, 5, 4)), requires_grad=True)
+        out, _ = nn.scaled_dot_product_attention(q, k, v)
+        out.sum().backward()
+        assert q.grad is not None and k.grad is not None and v.grad is not None
+
+
+class TestAdditiveAttention:
+    def test_context_shape_and_weights(self, fresh_rng):
+        att = nn.AdditiveAttention(6, fresh_rng)
+        context, weights = att(Tensor(fresh_rng.standard_normal((3, 6))),
+                               Tensor(fresh_rng.standard_normal((3, 7, 6))))
+        assert context.shape == (3, 6)
+        assert weights.shape == (3, 7)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0)
+
+    def test_mask_zeroes_padded_positions(self, fresh_rng):
+        att = nn.AdditiveAttention(4, fresh_rng)
+        keys = Tensor(fresh_rng.standard_normal((2, 5, 4)))
+        mask = np.array([[True] * 5, [True, True, False, False, False]])
+        _, weights = att(Tensor(fresh_rng.standard_normal((2, 4))), keys, mask=mask)
+        np.testing.assert_allclose(weights.data[1, 2:], 0.0, atol=1e-9)
+        np.testing.assert_allclose(weights.data[1, :2].sum(), 1.0)
+
+    def test_context_is_convex_combination(self, fresh_rng):
+        att = nn.AdditiveAttention(3, fresh_rng)
+        keys_val = fresh_rng.standard_normal((1, 4, 3))
+        context, weights = att(Tensor(fresh_rng.standard_normal((1, 3))),
+                               Tensor(keys_val))
+        manual = (weights.data[0][:, None] * keys_val[0]).sum(axis=0)
+        np.testing.assert_allclose(context.data[0], manual, atol=1e-12)
+
+
+class TestSelfAttention:
+    def test_block_preserves_shape(self, fresh_rng):
+        block = nn.SelfAttention(8, fresh_rng)
+        out = block(Tensor(fresh_rng.standard_normal((2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_block_is_trainable(self, fresh_rng):
+        block = nn.SelfAttention(4, fresh_rng)
+        x = Tensor(fresh_rng.standard_normal((1, 3, 4)))
+        block(x).sum().backward()
+        grads = [p.grad for p in block.parameters()]
+        assert all(g is not None for g in grads)
+
+    def test_stacking_blocks(self, fresh_rng):
+        blocks = [nn.SelfAttention(6, fresh_rng) for _ in range(3)]
+        x = Tensor(fresh_rng.standard_normal((2, 4, 6)))
+        for b in blocks:
+            x = b(x)
+        assert x.shape == (2, 4, 6)
+        assert np.isfinite(x.data).all()

@@ -1,0 +1,244 @@
+"""Finite-difference verification of every autograd primitive.
+
+Each op's analytic gradient is compared against central differences on
+random inputs; hypothesis drives the shapes and values for the
+broadcasting-sensitive ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def finite_diff_check(fn, *arrays, tol=TOL):
+    """Compare analytic grads of ``fn(*tensors).sum()`` to central differences."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+    for tensor, array in zip(tensors, arrays):
+        analytic = tensor.grad
+        assert analytic is not None, "gradient was not populated"
+        numeric = np.zeros_like(array, dtype=np.float64)
+        flat = array.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + EPS
+            plus = _scalar(fn, arrays)
+            flat[i] = original - EPS
+            minus = _scalar(fn, arrays)
+            flat[i] = original
+            numeric.reshape(-1)[i] = (plus - minus) / (2 * EPS)
+        np.testing.assert_allclose(analytic, numeric, rtol=tol, atol=tol)
+
+
+def _scalar(fn, arrays):
+    out = fn(*[Tensor(a) for a in arrays])
+    return float(out.data.sum())
+
+
+class TestElementwiseGradients:
+    def test_add_broadcast(self, fresh_rng):
+        finite_diff_check(lambda a, b: a + b,
+                          fresh_rng.standard_normal((3, 4)),
+                          fresh_rng.standard_normal((4,)))
+
+    def test_sub_broadcast(self, fresh_rng):
+        finite_diff_check(lambda a, b: a - b,
+                          fresh_rng.standard_normal((2, 3, 4)),
+                          fresh_rng.standard_normal((3, 1)))
+
+    def test_mul(self, fresh_rng):
+        finite_diff_check(lambda a, b: a * b,
+                          fresh_rng.standard_normal((3, 4)),
+                          fresh_rng.standard_normal((3, 4)))
+
+    def test_div(self, fresh_rng):
+        finite_diff_check(lambda a, b: a / b,
+                          fresh_rng.standard_normal((3, 4)),
+                          fresh_rng.standard_normal((3, 4)) + 3.0)
+
+    def test_neg_pow(self, fresh_rng):
+        finite_diff_check(lambda a: (-a) ** 3, fresh_rng.standard_normal((5,)))
+
+    def test_exp_log(self, fresh_rng):
+        finite_diff_check(lambda a: (a.exp() + 1.0).log(),
+                          fresh_rng.standard_normal((4, 2)))
+
+    def test_tanh_sigmoid(self, fresh_rng):
+        finite_diff_check(lambda a: a.tanh() * a.sigmoid(),
+                          fresh_rng.standard_normal((6,)))
+
+    def test_relu_away_from_kink(self, fresh_rng):
+        x = fresh_rng.standard_normal((10,))
+        x[np.abs(x) < 0.1] = 0.5  # avoid the nondifferentiable point
+        finite_diff_check(lambda a: a.relu(), x)
+
+    def test_clip_away_from_edges(self, fresh_rng):
+        x = fresh_rng.uniform(-2, 2, size=(8,))
+        x[np.abs(np.abs(x) - 1.0) < 0.05] = 0.0
+        finite_diff_check(lambda a: a.clip(-1.0, 1.0), x)
+
+    def test_sqrt(self, fresh_rng):
+        finite_diff_check(lambda a: a.sqrt(), fresh_rng.uniform(0.5, 3.0, size=(5,)))
+
+
+class TestMatmulGradients:
+    def test_mat_mat(self, fresh_rng):
+        finite_diff_check(lambda a, b: a @ b,
+                          fresh_rng.standard_normal((3, 4)),
+                          fresh_rng.standard_normal((4, 5)))
+
+    def test_batched(self, fresh_rng):
+        finite_diff_check(lambda a, b: a @ b,
+                          fresh_rng.standard_normal((2, 3, 4)),
+                          fresh_rng.standard_normal((2, 4, 5)))
+
+    def test_mat_vec(self, fresh_rng):
+        finite_diff_check(lambda a, b: a @ b,
+                          fresh_rng.standard_normal((3, 4)),
+                          fresh_rng.standard_normal((4,)))
+
+    def test_vec_mat(self, fresh_rng):
+        finite_diff_check(lambda a, b: a @ b,
+                          fresh_rng.standard_normal((4,)),
+                          fresh_rng.standard_normal((4, 3)))
+
+    def test_vec_vec(self, fresh_rng):
+        finite_diff_check(lambda a, b: a @ b,
+                          fresh_rng.standard_normal((4,)),
+                          fresh_rng.standard_normal((4,)))
+
+    def test_broadcast_batched(self, fresh_rng):
+        finite_diff_check(lambda a, b: a @ b,
+                          fresh_rng.standard_normal((2, 3, 4)),
+                          fresh_rng.standard_normal((4, 5)))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, fresh_rng):
+        finite_diff_check(lambda a: a.sum(axis=1), fresh_rng.standard_normal((3, 4)))
+
+    def test_sum_keepdims(self, fresh_rng):
+        finite_diff_check(lambda a: a.sum(axis=-1, keepdims=True) * 2.0,
+                          fresh_rng.standard_normal((2, 5)))
+
+    def test_mean(self, fresh_rng):
+        finite_diff_check(lambda a: a.mean(axis=0), fresh_rng.standard_normal((4, 3)))
+
+    def test_max_no_ties(self, fresh_rng):
+        x = fresh_rng.permutation(12).astype(np.float64).reshape(3, 4)
+        finite_diff_check(lambda a: a.max(axis=1), x)
+
+    def test_reshape_transpose(self, fresh_rng):
+        finite_diff_check(lambda a: a.reshape(6, 2).T, fresh_rng.standard_normal((3, 4)))
+
+    def test_getitem_slice(self, fresh_rng):
+        finite_diff_check(lambda a: a[1:, :2], fresh_rng.standard_normal((3, 4)))
+
+    def test_getitem_fancy(self, fresh_rng):
+        idx = np.array([0, 2, 2])
+        finite_diff_check(lambda a: a[idx], fresh_rng.standard_normal((4, 3)))
+
+
+class TestEngineSemantics:
+    def test_grad_accumulates_when_reused(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_double_backward_accumulates(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x.detach() * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2.0])  # only the non-detached path
+
+    def test_no_grad_context(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with nn.no_grad():
+            y = x * 3.0
+        assert not y.requires_grad
+        assert nn.is_grad_enabled()
+
+    def test_backward_requires_scalar_without_seed(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_long_chain_does_not_recurse(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a + b).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 4), cols=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_property_mul_gradient_matches_other_operand(rows, cols, seed):
+    """d(sum(a*b))/da == b exactly, for any shapes/values."""
+    r = np.random.default_rng(seed)
+    a = Tensor(r.standard_normal((rows, cols)), requires_grad=True)
+    b_val = r.standard_normal((rows, cols))
+    (a * Tensor(b_val)).sum().backward()
+    np.testing.assert_allclose(a.grad, b_val)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 6), seed=st.integers(0, 10_000),
+    shift=st.floats(-100, 100, allow_nan=False),
+)
+def test_property_softmax_shift_invariance(n, seed, shift):
+    """softmax(x + c) == softmax(x) - the numerically stable property."""
+    r = np.random.default_rng(seed)
+    x = r.standard_normal(n)
+    s1 = nn.softmax(Tensor(x)).data
+    s2 = nn.softmax(Tensor(x + shift)).data
+    np.testing.assert_allclose(s1, s2, atol=1e-10)
+    np.testing.assert_allclose(s1.sum(), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    b=st.integers(1, 3), t=st.integers(1, 5), seed=st.integers(0, 10_000)
+)
+def test_property_log_softmax_grad_rows_sum_zero(b, t, seed):
+    """Rows of the log-softmax Jacobian-vector product sum to zero when
+    the upstream gradient is one-hot (probability conservation)."""
+    r = np.random.default_rng(seed)
+    x = Tensor(r.standard_normal((b, t)), requires_grad=True)
+    out = nn.log_softmax(x, axis=-1)
+    out[np.arange(b), r.integers(0, t, size=b)].sum().backward()
+    np.testing.assert_allclose(x.grad.sum(axis=-1), np.zeros(b), atol=1e-10)

@@ -1,0 +1,89 @@
+"""Tests for FLOPs / parameter accounting and Table II complexities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.flops import count_parameters, estimate_flops, st_operator_complexity
+
+
+class TestParameterCount:
+    def test_linear(self, fresh_rng):
+        assert count_parameters(nn.Linear(3, 5, fresh_rng)) == 3 * 5 + 5
+
+    def test_nested(self, fresh_rng):
+        model = nn.Sequential(nn.Linear(2, 4, fresh_rng), nn.Linear(4, 1, fresh_rng))
+        assert count_parameters(model) == (2 * 4 + 4) + (4 * 1 + 1)
+
+
+class TestFlopsEstimate:
+    def test_scales_linearly_with_seq_len(self, fresh_rng):
+        gru = nn.GRU(4, 8, fresh_rng)
+        assert estimate_flops(gru, seq_len=20) == pytest.approx(
+            2 * estimate_flops(gru, seq_len=10)
+        )
+
+    def test_attention_scales_quadratically(self, fresh_rng):
+        att = nn.AdditiveAttention(8, fresh_rng)
+        f1 = estimate_flops(att, seq_len=10)
+        f2 = estimate_flops(att, seq_len=20)
+        assert f2 == pytest.approx(4 * f1)
+
+    def test_invalid_args(self, fresh_rng):
+        with pytest.raises(ValueError):
+            estimate_flops(nn.Linear(2, 2, fresh_rng), seq_len=0)
+
+    def test_batch_scaling(self, fresh_rng):
+        lin = nn.Linear(4, 4, fresh_rng)
+        assert estimate_flops(lin, seq_len=5, batch=3) == pytest.approx(
+            3 * estimate_flops(lin, seq_len=5)
+        )
+
+
+class TestTable2Complexity:
+    """The orderings the paper's Table II asserts."""
+
+    def test_attn_dominates_rnn_and_cnn(self):
+        n, length, dim = 100, 32, 64
+        attn = st_operator_complexity("attn", n, length, dim)["time"]
+        rnn = st_operator_complexity("rnn", n, length, dim)["time"]
+        cnn = st_operator_complexity("cnn", n, length, dim)["time"]
+        assert attn > rnn == cnn
+
+    def test_lightweight_is_cheapest_in_time_and_space(self):
+        n, length, dim = 100, 32, 64
+        light = st_operator_complexity("mlp", n, length, dim)
+        for kind in ("cnn", "rnn", "attn"):
+            heavy = st_operator_complexity(kind, n, length, dim)
+            assert light["time"] < heavy["time"]
+            assert light["space"] < heavy["space"]
+
+    def test_space_complexity_values(self):
+        dim, length = 16, 10
+        assert st_operator_complexity("rnn", 1, length, dim)["space"] == dim**2
+        assert st_operator_complexity("mlp", 1, length, dim)["space"] == length + dim + 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            st_operator_complexity("quantum", 1, 1, 1)
+
+
+class TestModelOrdering:
+    """Figure 5's key claim at the model level: LightTR's operator stack
+    costs far less than the attention-based baselines."""
+
+    def test_lte_cheaper_than_attention_models(self, tiny_config, tiny_world, fresh_rng):
+        from repro.baselines import MTrajRecModel, RNTrajRecModel
+        from repro.core import LTEModel
+
+        rng = np.random.default_rng(0)
+        lte = LTEModel(tiny_config, rng)
+        mtraj = MTrajRecModel(tiny_config, np.random.default_rng(0))
+        rntraj = RNTrajRecModel(tiny_config, np.random.default_rng(0),
+                                tiny_world.network)
+        seq = 33
+        assert estimate_flops(lte, seq) < estimate_flops(mtraj, seq)
+        assert estimate_flops(mtraj, seq) < estimate_flops(rntraj, seq)
+        assert count_parameters(lte) < count_parameters(rntraj)

@@ -1,0 +1,158 @@
+"""Tests for multi-input functional ops (concat/stack/softmax/etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestConcatStack:
+    def test_concat_values_and_grad(self, fresh_rng):
+        a = Tensor(fresh_rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(fresh_rng.standard_normal((2, 2)), requires_grad=True)
+        out = nn.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 2), 2.0))
+
+    def test_concat_axis0(self, fresh_rng):
+        parts = [Tensor(fresh_rng.standard_normal((i + 1, 2))) for i in range(3)]
+        out = nn.concat(parts, axis=0)
+        assert out.shape == (6, 2)
+        np.testing.assert_allclose(out.data[:1], parts[0].data)
+
+    def test_stack_new_axis(self, fresh_rng):
+        parts = [Tensor(fresh_rng.standard_normal((2, 3)), requires_grad=True)
+                 for _ in range(4)]
+        out = nn.stack(parts, axis=1)
+        assert out.shape == (2, 4, 3)
+        out.sum().backward()
+        for p in parts:
+            np.testing.assert_allclose(p.grad, np.ones((2, 3)))
+
+    def test_stack_grad_routes_to_right_slice(self, fresh_rng):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = nn.stack([a, b], axis=0)
+        seed = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        out.backward(seed)
+        np.testing.assert_allclose(a.grad, [1, 2, 3])
+        np.testing.assert_allclose(b.grad, [4, 5, 6])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_matches_manual(self, fresh_rng):
+        x = fresh_rng.standard_normal((3, 5))
+        expected = np.exp(x) / np.exp(x).sum(axis=-1, keepdims=True)
+        np.testing.assert_allclose(nn.softmax(Tensor(x)).data, expected)
+
+    def test_log_softmax_is_log_of_softmax(self, fresh_rng):
+        x = Tensor(fresh_rng.standard_normal((4, 6)))
+        np.testing.assert_allclose(
+            nn.log_softmax(x).data, np.log(nn.softmax(x).data), atol=1e-12
+        )
+
+    def test_softmax_gradient_finite_diff(self, fresh_rng):
+        x_val = fresh_rng.standard_normal(5)
+        x = Tensor(x_val, requires_grad=True)
+        nn.softmax(x)[2].backward()
+        eps = 1e-6
+        for i in range(5):
+            bumped = x_val.copy()
+            bumped[i] += eps
+            plus = nn.softmax(Tensor(bumped)).data[2]
+            bumped[i] -= 2 * eps
+            minus = nn.softmax(Tensor(bumped)).data[2]
+            np.testing.assert_allclose(x.grad[i], (plus - minus) / (2 * eps),
+                                       rtol=1e-4, atol=1e-8)
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([1000.0, 0.0, -1000.0]))
+        s = nn.softmax(x).data
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s.sum(), 1.0)
+
+
+class TestEmbeddingLookup:
+    def test_lookup_and_scatter_grad(self, fresh_rng):
+        w = Tensor(fresh_rng.standard_normal((5, 3)), requires_grad=True)
+        idx = np.array([1, 1, 4])
+        out = nn.embedding_lookup(w, idx)
+        np.testing.assert_allclose(out.data, w.data[idx])
+        out.sum().backward()
+        expected = np.zeros((5, 3))
+        expected[1] = 2.0  # row used twice
+        expected[4] = 1.0
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_multidim_indices(self, fresh_rng):
+        w = Tensor(fresh_rng.standard_normal((7, 4)), requires_grad=True)
+        idx = np.array([[0, 1], [2, 3]])
+        out = nn.embedding_lookup(w, idx)
+        assert out.shape == (2, 2, 4)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, fresh_rng):
+        x = Tensor(fresh_rng.standard_normal((10, 10)))
+        out = nn.dropout(x, 0.5, fresh_rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_inverted_scaling_preserves_mean(self, fresh_rng):
+        x = Tensor(np.ones((200, 200)))
+        out = nn.dropout(x, 0.3, fresh_rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_gradient_masked_consistently(self, fresh_rng):
+        x = Tensor(np.ones((50,)), requires_grad=True)
+        out = nn.dropout(x, 0.5, fresh_rng, training=True)
+        out.sum().backward()
+        zeroed = out.data == 0
+        np.testing.assert_allclose(x.grad[zeroed], 0.0)
+        assert (x.grad[~zeroed] > 0).all()
+
+    def test_invalid_probability(self, fresh_rng):
+        with pytest.raises(ValueError):
+            nn.dropout(Tensor(np.ones(3)), 1.0, fresh_rng, training=True)
+
+
+class TestWhereMaskAndPad:
+    def test_where_mask_forward_and_grad(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        mask = np.array([True, False, True])
+        out = nn.where_mask(mask, x, -9.0)
+        np.testing.assert_allclose(out.data, [1.0, -9.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0])
+
+    def test_pad_sequences(self):
+        batch, mask = nn.pad_sequences([np.ones((2, 3)), np.ones((4, 3))], pad_value=-1)
+        assert batch.shape == (2, 4, 3)
+        assert mask.shape == (2, 4)
+        assert mask[0].tolist() == [True, True, False, False]
+        np.testing.assert_allclose(batch[0, 2:], -1.0)
+
+    def test_pad_sequences_empty_list(self):
+        with pytest.raises(ValueError):
+            nn.pad_sequences([])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, 6), min_size=1, max_size=5),
+    seed=st.integers(0, 1000),
+)
+def test_property_pad_roundtrip(lengths, seed):
+    """Padding preserves every original row exactly where mask is True."""
+    r = np.random.default_rng(seed)
+    arrays = [r.standard_normal((n, 2)) for n in lengths]
+    batch, mask = nn.pad_sequences(arrays)
+    for i, a in enumerate(arrays):
+        np.testing.assert_allclose(batch[i][mask[i]], a)
+        assert mask[i].sum() == len(a)

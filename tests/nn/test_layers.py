@@ -1,0 +1,116 @@
+"""Tests for feed-forward layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, fresh_rng):
+        layer = nn.Linear(3, 2, fresh_rng)
+        x = fresh_rng.standard_normal((5, 3))
+        out = layer(nn.Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self, fresh_rng):
+        layer = nn.Linear(3, 2, fresh_rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_3d_input(self, fresh_rng):
+        layer = nn.Linear(4, 6, fresh_rng)
+        out = layer(nn.Tensor(fresh_rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_invalid_sizes(self, fresh_rng):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 2, fresh_rng)
+
+    def test_xavier_scale(self, fresh_rng):
+        layer = nn.Linear(100, 100, fresh_rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-12
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, fresh_rng):
+        emb = nn.Embedding(10, 4, fresh_rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self, fresh_rng):
+        emb = nn.Embedding(10, 4, fresh_rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_only_to_used_rows(self, fresh_rng):
+        emb = nn.Embedding(6, 3, fresh_rng)
+        emb(np.array([2, 2])).sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[2], 2.0)
+        untouched = [i for i in range(6) if i != 2]
+        assert np.allclose(grad[untouched], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, fresh_rng):
+        norm = nn.LayerNorm(8)
+        x = nn.Tensor(fresh_rng.standard_normal((4, 8)) * 10 + 3)
+        out = norm(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_learnable_affine(self, fresh_rng):
+        norm = nn.LayerNorm(4)
+        norm.gamma.data = np.full(4, 2.0)
+        norm.beta.data = np.full(4, 1.0)
+        out = norm(nn.Tensor(fresh_rng.standard_normal((3, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-9)
+
+    def test_gradients_flow(self, fresh_rng):
+        norm = nn.LayerNorm(5)
+        x = nn.Tensor(fresh_rng.standard_normal((2, 5)), requires_grad=True)
+        norm(x).sum().backward()
+        assert x.grad is not None
+        assert norm.gamma.grad is not None
+
+
+class TestMLP:
+    def test_depth_and_shapes(self, fresh_rng):
+        mlp = nn.MLP([4, 8, 8, 2], fresh_rng)
+        out = mlp(nn.Tensor(fresh_rng.standard_normal((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(mlp.layers) == 3
+
+    def test_last_layer_not_activated_by_default(self, fresh_rng):
+        mlp = nn.MLP([2, 4, 2], fresh_rng)
+        out = mlp(nn.Tensor(fresh_rng.standard_normal((100, 2))))
+        assert (out.data < 0).any()  # a ReLU'd output would be nonnegative
+
+    def test_activate_last(self, fresh_rng):
+        mlp = nn.MLP([2, 4, 2], fresh_rng, activate_last=True)
+        out = mlp(nn.Tensor(fresh_rng.standard_normal((100, 2))))
+        assert (out.data >= 0).all()
+
+    def test_too_few_dims(self, fresh_rng):
+        with pytest.raises(ValueError):
+            nn.MLP([4], fresh_rng)
+
+
+class TestDropoutLayer:
+    def test_train_vs_eval(self, fresh_rng):
+        drop = nn.Dropout(0.5, fresh_rng)
+        x = nn.Tensor(np.ones((100, 100)))
+        train_out = drop(x).data
+        assert (train_out == 0).any()
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_invalid_p(self, fresh_rng):
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1, fresh_rng)

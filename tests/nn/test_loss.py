@@ -1,0 +1,118 @@
+"""Tests for loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, fresh_rng):
+        logits = fresh_rng.standard_normal((4, 3))
+        targets = np.array([0, 2, 1, 2])
+        loss = nn.cross_entropy(Tensor(logits), targets).item()
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[np.arange(4), targets]).mean()
+        np.testing.assert_allclose(loss, expected, rtol=1e-10)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 0] = 100.0
+        loss = nn.cross_entropy(Tensor(logits), np.array([1, 0])).item()
+        assert loss < 1e-6
+
+    def test_weights_exclude_samples(self, fresh_rng):
+        logits = fresh_rng.standard_normal((3, 4))
+        targets = np.array([0, 1, 2])
+        weighted = nn.cross_entropy(Tensor(logits), targets,
+                                    weights=np.array([1.0, 1.0, 0.0])).item()
+        subset = nn.cross_entropy(Tensor(logits[:2]), targets[:2]).item()
+        np.testing.assert_allclose(weighted, subset, rtol=1e-10)
+
+    def test_invalid_targets(self, fresh_rng):
+        logits = Tensor(fresh_rng.standard_normal((2, 3)))
+        with pytest.raises(IndexError):
+            nn.cross_entropy(logits, np.array([0, 3]))
+        with pytest.raises(ValueError):
+            nn.cross_entropy(logits, np.array([0]))
+
+    def test_zero_weights_raise(self, fresh_rng):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(fresh_rng.standard_normal((2, 3))),
+                             np.array([0, 1]), weights=np.zeros(2))
+
+    def test_gradient_is_probs_minus_onehot(self, fresh_rng):
+        logits = Tensor(fresh_rng.standard_normal((2, 3)), requires_grad=True)
+        targets = np.array([1, 0])
+        nn.cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        onehot = np.zeros((2, 3))
+        onehot[np.arange(2), targets] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 2, atol=1e-10)
+
+
+class TestNLL:
+    def test_consistent_with_cross_entropy(self, fresh_rng):
+        logits = fresh_rng.standard_normal((5, 4))
+        targets = np.array([0, 1, 2, 3, 0])
+        ce = nn.cross_entropy(Tensor(logits), targets).item()
+        nll = nn.nll_from_log_probs(nn.log_softmax(Tensor(logits)), targets).item()
+        np.testing.assert_allclose(ce, nll, rtol=1e-10)
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        loss = nn.mse_loss(pred, np.array([1.0, 0.0, 3.0])).item()
+        np.testing.assert_allclose(loss, 4.0 / 3.0)
+
+    def test_weighted(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = np.array([0.0, 0.0])
+        loss = nn.mse_loss(pred, target, weights=np.array([0.0, 1.0])).item()
+        np.testing.assert_allclose(loss, 4.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.array([3.0]), requires_grad=True)
+        nn.mse_loss(pred, np.array([1.0])).backward()
+        np.testing.assert_allclose(pred.grad, [4.0])  # 2 * (3 - 1)
+
+
+class TestDistillation:
+    def test_zero_when_identical(self, fresh_rng):
+        x = Tensor(fresh_rng.standard_normal((3, 4)))
+        assert nn.distillation_loss(x, x).item() == 0.0
+
+    def test_teacher_receives_no_gradient(self, fresh_rng):
+        teacher = Tensor(fresh_rng.standard_normal((2, 3)), requires_grad=True)
+        student = Tensor(fresh_rng.standard_normal((2, 3)), requires_grad=True)
+        nn.distillation_loss(teacher, student).backward()
+        assert teacher.grad is None
+        assert student.grad is not None
+
+    def test_pulls_student_toward_teacher(self, fresh_rng):
+        teacher = Tensor(np.array([1.0, -1.0]))
+        student = Tensor(np.array([0.0, 0.0]), requires_grad=True)
+        nn.distillation_loss(teacher, student).backward()
+        # Gradient must point away from the teacher (loss decreases by
+        # moving opposite to the gradient, i.e. toward the teacher).
+        assert student.grad[0] < 0
+        assert student.grad[1] > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 8), c=st.integers(2, 6), seed=st.integers(0, 10_000))
+def test_property_cross_entropy_nonnegative_and_bounded(n, c, seed):
+    """CE >= 0 always, and CE <= log(C) + margin for near-uniform logits."""
+    r = np.random.default_rng(seed)
+    logits = r.standard_normal((n, c)) * 0.01
+    targets = r.integers(0, c, size=n)
+    loss = nn.cross_entropy(Tensor(logits), targets).item()
+    assert loss >= 0.0
+    assert loss <= np.log(c) + 0.1

@@ -1,0 +1,106 @@
+"""Tests for the LSTM cell and sequence wrapper (encoder ablation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestLSTMCell:
+    def test_state_shape_is_doubled(self, fresh_rng):
+        cell = nn.LSTMCell(3, 5, fresh_rng)
+        state = cell.initial_state(4)
+        assert state.shape == (4, 10)
+        next_state = cell(Tensor(fresh_rng.standard_normal((4, 3))), state)
+        assert next_state.shape == (4, 10)
+
+    def test_forget_gate_bias_initialised_to_one(self, fresh_rng):
+        cell = nn.LSTMCell(2, 4, fresh_rng)
+        np.testing.assert_allclose(cell.b_f.data, 1.0)
+
+    def test_h_part_is_bounded(self, fresh_rng):
+        cell = nn.LSTMCell(2, 4, fresh_rng)
+        state = cell.initial_state(3)
+        for _ in range(5):
+            state = cell(Tensor(fresh_rng.standard_normal((3, 2)) * 10), state)
+        h = state.data[:, :4]
+        assert (np.abs(h) <= 1.0).all()  # o * tanh(c)
+
+    def test_gradient_flows(self, fresh_rng):
+        cell = nn.LSTMCell(2, 3, fresh_rng)
+        state = cell.initial_state(1)
+        out = cell(Tensor(fresh_rng.standard_normal((1, 2))), state)
+        out.sum().backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+
+class TestLSTMSequence:
+    def test_output_width_is_hidden_size(self, fresh_rng):
+        lstm = nn.LSTM(3, 6, fresh_rng)
+        outputs, last = lstm(Tensor(fresh_rng.standard_normal((2, 5, 3))))
+        assert outputs.shape == (2, 5, 6)
+        assert last.shape == (2, 6)
+
+    def test_mask_freezes_state(self, fresh_rng):
+        lstm = nn.LSTM(2, 4, fresh_rng)
+        x = fresh_rng.standard_normal((1, 4, 2))
+        mask = np.array([[True, True, False, False]])
+        outputs, last = lstm(Tensor(x), mask=mask)
+        np.testing.assert_allclose(outputs.data[0, 2], outputs.data[0, 1])
+        np.testing.assert_allclose(last.data[0], outputs.data[0, 1])
+
+    def test_learns_like_gru(self, fresh_rng):
+        """The LSTM encoder trains on the same memorisation task."""
+        lstm = nn.LSTM(1, 8, fresh_rng)
+        head = nn.Linear(8, 1, fresh_rng)
+        opt = nn.Adam(lstm.parameters() + head.parameters(), lr=0.02)
+        rng = np.random.default_rng(0)
+        losses = []
+        for _ in range(100):
+            x = rng.standard_normal((8, 5, 1))
+            target = x[:, 0, 0:1]
+            opt.zero_grad()
+            _, h = lstm(Tensor(x))
+            loss = nn.mse_loss(head(h), target)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) * 0.6
+
+
+class TestEncoderAblation:
+    @pytest.mark.parametrize("encoder", ["gru", "lstm", "rnn"])
+    def test_lte_with_each_encoder(self, encoder, tiny_config, tiny_dataset,
+                                   tiny_mask):
+        from dataclasses import replace
+        from repro.core import LTEModel
+
+        config = replace(tiny_config, encoder=encoder)
+        model = LTEModel(config, np.random.default_rng(0))
+        batch = tiny_dataset.full_batch()
+        out = model(batch, tiny_mask.build(batch))
+        assert out.log_probs.shape[0] == batch.size
+        total, _ = model.loss(out, batch)
+        total.backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_unknown_encoder_rejected(self, tiny_config):
+        from dataclasses import replace
+        with pytest.raises(ValueError):
+            replace(tiny_config, encoder="transformer")
+
+    def test_flops_no_double_count(self, fresh_rng):
+        """A wrapper and its cell must be counted once (regression)."""
+        from repro.nn.flops import estimate_flops
+        gru = nn.GRU(4, 8, fresh_rng)
+        bare = nn.GRUCell(4, 8, fresh_rng)
+        assert estimate_flops(gru, 10) == pytest.approx(estimate_flops(bare, 10))
+
+    def test_lstm_flops_exceed_gru(self, fresh_rng):
+        from repro.nn.flops import estimate_flops
+        gru = nn.GRU(4, 8, fresh_rng)
+        lstm = nn.LSTM(4, 8, fresh_rng)
+        assert estimate_flops(lstm, 10) > estimate_flops(gru, 10)

@@ -1,0 +1,108 @@
+"""Tests for the Module/Parameter system and state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TwoLayer(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = nn.Linear(4, 8, rng)
+        self.second = nn.Linear(8, 2, rng)
+        self.drop = nn.Dropout(0.5, rng)
+
+    def forward(self, x):
+        return self.second(self.drop(self.first(x).relu()))
+
+
+class TestRegistration:
+    def test_named_parameters_are_dotted(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert "first.weight" in names
+        assert "first.bias" in names
+        assert "second.weight" in names
+
+    def test_num_parameters(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_zero_grad_clears_all(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        out = model(nn.Tensor(fresh_rng.standard_normal((3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, fresh_rng):
+        a = TwoLayer(np.random.default_rng(1))
+        b = TwoLayer(np.random.default_rng(2))
+        assert not np.allclose(a.first.weight.data, b.first.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.first.weight.data, b.first.weight.data)
+        np.testing.assert_allclose(a.second.bias.data, b.second.bias.data)
+
+    def test_state_dict_is_a_copy(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        state = model.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not np.allclose(model.first.weight.data, 0.0)
+
+    def test_missing_key_raises(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        state = model.state_dict()
+        del state["second.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_recursive(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        model.eval()
+        assert not model.training
+        assert not model.drop.training
+        model.train()
+        assert model.drop.training
+
+    def test_eval_disables_dropout(self, fresh_rng):
+        model = TwoLayer(fresh_rng)
+        model.eval()
+        x = nn.Tensor(fresh_rng.standard_normal((5, 4)))
+        out1 = model(x).data
+        out2 = model(x).data
+        np.testing.assert_allclose(out1, out2)
+
+
+class TestContainers:
+    def test_sequential_chains(self, fresh_rng):
+        seq = nn.Sequential(nn.Linear(3, 5, fresh_rng), nn.ReLU(),
+                            nn.Linear(5, 2, fresh_rng))
+        out = seq(nn.Tensor(fresh_rng.standard_normal((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(list(seq.named_parameters())) == 4
+
+    def test_module_list_registers_children(self, fresh_rng):
+        layers = nn.ModuleList([nn.Linear(2, 2, fresh_rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers.named_parameters())) == 6
+        with pytest.raises(RuntimeError):
+            layers(nn.Tensor(np.ones((1, 2))))
+
+    def test_module_list_indexing(self, fresh_rng):
+        layers = nn.ModuleList([nn.Linear(2, 2, fresh_rng) for _ in range(2)])
+        assert layers[0] is list(iter(layers))[0]

@@ -1,0 +1,136 @@
+"""Tests for optimisers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+def quadratic_problem(rng, n=4):
+    """A convex quadratic min ||x - target||^2 with known optimum."""
+    target = rng.standard_normal(n)
+    param = Parameter(rng.standard_normal(n))
+
+    def loss_fn():
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    return param, target, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, fresh_rng):
+        param, target, loss_fn = quadratic_problem(fresh_rng)
+        opt = nn.SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-6)
+
+    def test_momentum_accelerates(self, fresh_rng):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            rng = np.random.default_rng(5)
+            param, _, loss_fn = quadratic_problem(rng)
+            opt = nn.SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                loss = loss_fn()
+                loss.backward()
+                opt.step()
+            losses[momentum] = loss.item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0]))
+        opt = nn.SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.array([0.0])
+        opt.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        p1.grad = np.array([1.0])
+        nn.SGD([p1, p2], lr=0.5).step()
+        np.testing.assert_allclose(p2.data, [2.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_empty_parameters(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, fresh_rng):
+        param, target, loss_fn = quadratic_problem(fresh_rng)
+        opt = nn.Adam([param], lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step is ~lr regardless of
+        gradient scale."""
+        for scale in (1e-3, 1e3):
+            param = Parameter(np.array([0.0]))
+            opt = nn.Adam([param], lr=0.1)
+            param.grad = np.array([scale])
+            opt.step()
+            np.testing.assert_allclose(abs(param.data[0]), 0.1, rtol=1e-4)
+
+    def test_trains_a_network_better_than_noise(self, fresh_rng):
+        model = nn.MLP([3, 16, 1], fresh_rng)
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((64, 3))
+        y = np.sin(x.sum(axis=1, keepdims=True))
+        first = None
+        for step in range(300):
+            opt.zero_grad()
+            loss = nn.mse_loss(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first * 0.2
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.0, 0.4])
+
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-9)
+
+    def test_global_norm_across_parameters(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        p1.grad, p2.grad = np.array([3.0]), np.array([4.0])
+        nn.clip_grad_norm([p1, p2], max_norm=1.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        np.testing.assert_allclose(total, 1.0, rtol=1e-9)
+
+    def test_handles_missing_grads(self):
+        assert nn.clip_grad_norm([Parameter(np.zeros(2))], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            nn.clip_grad_norm([], max_norm=0.0)

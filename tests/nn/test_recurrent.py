@@ -1,0 +1,105 @@
+"""Tests for RNN/GRU cells and sequence wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestCells:
+    def test_rnn_cell_matches_manual(self, fresh_rng):
+        cell = nn.RNNCell(3, 4, fresh_rng)
+        x = fresh_rng.standard_normal((2, 3))
+        h = fresh_rng.standard_normal((2, 4))
+        out = cell(Tensor(x), Tensor(h)).data
+        expected = np.tanh(x @ cell.w_x.data + h @ cell.w_h.data + cell.bias.data)
+        np.testing.assert_allclose(out, expected)
+
+    def test_gru_cell_bounded(self, fresh_rng):
+        cell = nn.GRUCell(3, 4, fresh_rng)
+        out = cell(Tensor(fresh_rng.standard_normal((5, 3)) * 10),
+                   Tensor(np.zeros((5, 4))))
+        assert (np.abs(out.data) <= 1.0).all()  # convex combo of 0 and tanh
+
+    def test_gru_zero_update_gate_keeps_state(self, fresh_rng):
+        cell = nn.GRUCell(2, 3, fresh_rng)
+        # Force the update gate to ~0 via a huge negative bias.
+        cell.b_z.data = np.full(3, -1e3)
+        h = fresh_rng.standard_normal((1, 3))
+        out = cell(Tensor(fresh_rng.standard_normal((1, 2))), Tensor(h))
+        np.testing.assert_allclose(out.data, h, atol=1e-6)
+
+    def test_initial_state_shape(self, fresh_rng):
+        assert nn.GRUCell(2, 7, fresh_rng).initial_state(4).shape == (4, 7)
+
+
+class TestSequenceWrappers:
+    def test_output_shapes(self, fresh_rng):
+        gru = nn.GRU(3, 5, fresh_rng)
+        outputs, last = gru(Tensor(fresh_rng.standard_normal((2, 6, 3))))
+        assert outputs.shape == (2, 6, 5)
+        assert last.shape == (2, 5)
+        np.testing.assert_allclose(outputs.data[:, -1], last.data)
+
+    def test_mask_freezes_padded_steps(self, fresh_rng):
+        gru = nn.GRU(3, 4, fresh_rng)
+        x = fresh_rng.standard_normal((2, 5, 3))
+        mask = np.array([[True] * 5, [True, True, False, False, False]])
+        outputs, last = gru(Tensor(x), mask=mask)
+        # Second sequence's state must be frozen after step 1.
+        np.testing.assert_allclose(outputs.data[1, 2], outputs.data[1, 1])
+        np.testing.assert_allclose(last.data[1], outputs.data[1, 1])
+
+    def test_mask_equivalent_to_truncation(self, fresh_rng):
+        gru = nn.GRU(2, 3, fresh_rng)
+        x = fresh_rng.standard_normal((1, 6, 2))
+        mask = np.zeros((1, 6), dtype=bool)
+        mask[0, :4] = True
+        _, last_masked = gru(Tensor(x), mask=mask)
+        _, last_trunc = gru(Tensor(x[:, :4]))
+        np.testing.assert_allclose(last_masked.data, last_trunc.data)
+
+    def test_rejects_2d_input(self, fresh_rng):
+        with pytest.raises(ValueError):
+            nn.GRU(2, 3, fresh_rng)(Tensor(np.ones((4, 2))))
+
+    def test_gradients_reach_early_steps(self, fresh_rng):
+        gru = nn.GRU(2, 3, fresh_rng)
+        x = Tensor(fresh_rng.standard_normal((1, 8, 2)), requires_grad=True)
+        _, last = gru(x)
+        last.sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad[0, 0]).sum() > 0  # BPTT reaches step 0
+
+    def test_custom_initial_state(self, fresh_rng):
+        rnn = nn.RNN(2, 3, fresh_rng)
+        h0 = Tensor(fresh_rng.standard_normal((2, 3)))
+        x = Tensor(np.zeros((2, 1, 2)))
+        outputs, _ = rnn(x, h0=h0)
+        expected = np.tanh(h0.data @ rnn.cell.w_h.data + rnn.cell.bias.data)
+        np.testing.assert_allclose(outputs.data[:, 0], expected)
+
+
+class TestLearnability:
+    def test_gru_learns_to_memorise_first_token(self, fresh_rng):
+        """A GRU should learn to output the first input element (needs
+        long-range memory, which an untrained model lacks)."""
+        gru = nn.GRU(1, 8, fresh_rng)
+        head = nn.Linear(8, 1, fresh_rng)
+        params = gru.parameters() + head.parameters()
+        opt = nn.Adam(params, lr=0.02)
+        rng = np.random.default_rng(0)
+        losses = []
+        for _ in range(120):
+            x = rng.standard_normal((8, 6, 1))
+            target = x[:, 0, 0:1]
+            opt.zero_grad()
+            _, h = gru(Tensor(x))
+            loss = nn.mse_loss(head(h), target)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) * 0.5

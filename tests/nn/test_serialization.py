@@ -1,0 +1,43 @@
+"""Tests for state-dict save/load and payload sizing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+
+class TestSaveLoad:
+    def test_round_trip_via_disk(self, tmp_path, fresh_rng):
+        model = nn.Sequential(nn.Linear(3, 4, fresh_rng), nn.Linear(4, 2, fresh_rng))
+        path = str(tmp_path / "weights.npz")
+        nn.save_state_dict(model, path)
+        loaded = nn.load_state_dict(path)
+        for name, value in model.state_dict().items():
+            np.testing.assert_allclose(loaded[name], value)
+
+    def test_save_plain_dict(self, tmp_path):
+        state = {"a": np.ones((2, 2)), "b": np.zeros(3)}
+        path = str(tmp_path / "sub" / "state.npz")  # directory is created
+        nn.save_state_dict(state, path)
+        loaded = nn.load_state_dict(path)
+        assert set(loaded) == {"a", "b"}
+
+    def test_load_preserves_order(self, tmp_path, fresh_rng):
+        model = nn.Linear(2, 2, fresh_rng)
+        path = str(tmp_path / "w.npz")
+        nn.save_state_dict(model, path)
+        fresh = nn.Linear(2, 2, np.random.default_rng(99))
+        fresh.load_state_dict(nn.load_state_dict(path))
+        np.testing.assert_allclose(fresh.weight.data, model.weight.data)
+
+
+class TestPayloadSize:
+    def test_num_bytes_matches_float64(self):
+        state = {"w": np.zeros((10, 10)), "b": np.zeros(10)}
+        assert nn.state_dict_num_bytes(state) == (100 + 10) * 8
+
+    def test_bigger_model_bigger_payload(self, fresh_rng):
+        small = nn.Linear(4, 4, fresh_rng).state_dict()
+        large = nn.Linear(40, 40, fresh_rng).state_dict()
+        assert nn.state_dict_num_bytes(large) > nn.state_dict_num_bytes(small)

@@ -1,0 +1,101 @@
+"""Edge-case tests for Tensor semantics not covered by the FD checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestOperatorVariants:
+    def test_rsub(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = 5.0 - x
+        np.testing.assert_allclose(y.data, [4.0, 3.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_rtruediv(self):
+        x = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        y = 8.0 / x
+        np.testing.assert_allclose(y.data, [4.0, 2.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [-2.0, -0.5])
+
+    def test_radd_rmul(self):
+        x = Tensor(np.array([3.0]))
+        assert (1.0 + x).data[0] == 4.0
+        assert (2.0 * x).data[0] == 6.0
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))  # type: ignore[operator]
+
+    def test_comparisons_return_arrays(self):
+        x = Tensor(np.array([1.0, 3.0]))
+        assert (x > 2.0).tolist() == [False, True]
+        assert (x <= 3.0).all()
+        assert (x >= Tensor(np.array([1.0, 4.0]))).tolist() == [True, False]
+
+
+class TestIntrospection:
+    def test_repr_flags_grad(self):
+        assert "requires_grad=True" in repr(Tensor(np.ones(1), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.ones(1)))
+
+    def test_len_size_ndim(self):
+        x = Tensor(np.zeros((3, 4)))
+        assert len(x) == 3
+        assert x.size == 12
+        assert x.ndim == 2
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(2.5)).item() == 2.5
+
+    def test_tensor_wrapping_tensor_shares_data(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert b.data is a.data
+
+
+class TestGetitemBackward:
+    def test_boolean_mask_indexing(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        mask = np.array([True, False, True])
+        y = x[mask]
+        assert y.shape == (2,)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0])
+
+    def test_repeated_fancy_index_accumulates(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x[np.array([0, 0, 1])]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 1.0])
+
+    def test_tuple_index(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x[1, 2]
+        y.backward()
+        expected = np.zeros((2, 3))
+        expected[1, 2] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestFactories:
+    def test_zeros_ones_shapes(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones((4,)).shape == (4,)
+        assert nn.zeros((2, 2), requires_grad=True).requires_grad
+
+    def test_randn_seeded(self):
+        a = nn.randn(5, rng=np.random.default_rng(1))
+        b = nn.randn(5, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_as_tensor_idempotent(self):
+        x = Tensor(np.ones(2))
+        assert nn.as_tensor(x) is x
+        assert isinstance(nn.as_tensor([1.0, 2.0]), Tensor)

@@ -1,0 +1,62 @@
+"""Tests for synthetic road network generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spatial import grid_city, ring_city
+
+
+class TestGridCity:
+    def test_deterministic_with_seed(self):
+        a = grid_city(nx=5, ny=5, rng=np.random.default_rng(3))
+        b = grid_city(nx=5, ny=5, rng=np.random.default_rng(3))
+        assert a.num_segments == b.num_segments
+        for sa, sb in zip(a.segments, b.segments):
+            assert sa.start == sb.start and sa.end == sb.end
+
+    def test_strongly_connected_even_with_drops(self):
+        net = grid_city(nx=8, ny=8, drop_prob=0.3, rng=np.random.default_rng(1))
+        assert net.is_strongly_connected()
+
+    def test_segment_ids_contiguous(self):
+        net = grid_city(nx=4, ny=4, rng=np.random.default_rng(0))
+        assert [s.segment_id for s in net.segments] == list(range(net.num_segments))
+
+    def test_bidirectional_streets(self):
+        net = grid_city(nx=4, ny=4, drop_prob=0.0, diagonal_prob=0.0,
+                        rng=np.random.default_rng(0))
+        pairs = {(s.start_node, s.end_node) for s in net.segments}
+        for a, b in list(pairs):
+            assert (b, a) in pairs
+
+    def test_segment_lengths_block_scale(self):
+        net = grid_city(nx=6, ny=6, spacing=250.0, jitter=0.1,
+                        rng=np.random.default_rng(2))
+        lengths = [s.length for s in net.segments]
+        assert 100.0 < np.median(lengths) < 500.0
+
+    def test_too_small_lattice(self):
+        with pytest.raises(ValueError):
+            grid_city(nx=1, ny=5)
+
+    def test_no_drop_keeps_full_lattice(self):
+        net = grid_city(nx=3, ny=3, drop_prob=0.0, diagonal_prob=0.0,
+                        rng=np.random.default_rng(0))
+        # 2*3 horizontal + 3*2 vertical streets, two directions each.
+        assert net.num_segments == (2 * 3 + 3 * 2) * 2
+
+
+class TestRingCity:
+    def test_strongly_connected(self):
+        assert ring_city(num_nodes=12).is_strongly_connected()
+
+    def test_hub_present(self):
+        net = ring_city(num_nodes=10, spokes=4)
+        hub_degree = len(net.out_segments(10))
+        assert hub_degree == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_city(num_nodes=2)

@@ -1,0 +1,104 @@
+"""Tests for planar geometry primitives."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    Point,
+    euclidean,
+    haversine_m,
+    latlng_to_local,
+    local_to_latlng,
+    point_segment_distance,
+    project_onto_segment,
+)
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestPoints:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_euclidean_accepts_tuples(self):
+        assert euclidean((0, 0), (0, 2)) == 2.0
+        assert euclidean(Point(1, 1), (1, 1)) == 0.0
+
+    def test_as_array(self):
+        np.testing.assert_allclose(Point(1.5, -2.0).as_array(), [1.5, -2.0])
+
+
+class TestProjection:
+    def test_interior_projection(self):
+        proj, ratio = project_onto_segment(Point(5, 3), Point(0, 0), Point(10, 0))
+        assert proj == Point(5, 0)
+        assert ratio == 0.5
+
+    def test_clamps_before_start(self):
+        proj, ratio = project_onto_segment(Point(-4, 1), Point(0, 0), Point(10, 0))
+        assert proj == Point(0, 0)
+        assert ratio == 0.0
+
+    def test_clamps_after_end(self):
+        proj, ratio = project_onto_segment(Point(15, -2), Point(0, 0), Point(10, 0))
+        assert proj == Point(10, 0)
+        assert ratio == 1.0
+
+    def test_degenerate_segment(self):
+        proj, ratio = project_onto_segment(Point(3, 3), Point(1, 1), Point(1, 1))
+        assert proj == Point(1, 1)
+        assert ratio == 0.0
+
+    def test_distance_perpendicular(self):
+        assert point_segment_distance(Point(5, 7), Point(0, 0), Point(10, 0)) == 7.0
+
+
+class TestLatLng:
+    def test_haversine_known_value(self):
+        # One degree of latitude is about 111.2 km.
+        d = haversine_m(39.0, 116.0, 40.0, 116.0)
+        assert 110_000 < d < 112_500
+
+    def test_haversine_zero(self):
+        assert haversine_m(39.9, 116.4, 39.9, 116.4) == 0.0
+
+    def test_local_projection_roundtrip(self):
+        ref = (39.9, 116.4)  # Beijing
+        p = latlng_to_local(39.95, 116.5, *ref)
+        lat, lng = local_to_latlng(p, *ref)
+        assert math.isclose(lat, 39.95, abs_tol=1e-9)
+        assert math.isclose(lng, 116.5, abs_tol=1e-9)
+
+    def test_local_projection_matches_haversine_nearby(self):
+        ref = (39.9, 116.4)
+        p = latlng_to_local(39.91, 116.41, *ref)
+        planar = math.hypot(p.x, p.y)
+        true = haversine_m(39.9, 116.4, 39.91, 116.41)
+        assert abs(planar - true) / true < 0.01  # <1% error within ~1.5 km
+
+
+@settings(max_examples=50, deadline=None)
+@given(px=coords, py=coords, ax=coords, ay=coords, bx=coords, by=coords)
+def test_property_projection_is_nearest_point(px, py, ax, ay, bx, by):
+    """The projection is no farther than either endpoint."""
+    p, a, b = Point(px, py), Point(ax, ay), Point(bx, by)
+    proj, ratio = project_onto_segment(p, a, b)
+    d = p.distance_to(proj)
+    assert 0.0 <= ratio <= 1.0
+    assert d <= p.distance_to(a) + 1e-6
+    assert d <= p.distance_to(b) + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(ax=coords, ay=coords, bx=coords, by=coords)
+def test_property_endpoints_project_to_themselves(ax, ay, bx, by):
+    a, b = Point(ax, ay), Point(bx, by)
+    proj_a, ratio_a = project_onto_segment(a, a, b)
+    assert a.distance_to(proj_a) < 1e-6
+    assert ratio_a == pytest.approx(0.0, abs=1e-9)

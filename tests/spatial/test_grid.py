@@ -1,0 +1,92 @@
+"""Tests for the uniform grid discretisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Grid, Point
+
+
+@pytest.fixture()
+def grid():
+    return Grid(min_x=0.0, min_y=0.0, max_x=1000.0, max_y=500.0, cell_size=100.0)
+
+
+class TestBasics:
+    def test_dimensions(self, grid):
+        assert grid.num_cols == 11
+        assert grid.num_rows == 6
+        assert grid.num_cells == 66
+
+    def test_cell_of_origin(self, grid):
+        assert grid.cell_of(Point(0.0, 0.0)) == (0, 0)
+
+    def test_cell_of_interior(self, grid):
+        assert grid.cell_of(Point(250.0, 150.0)) == (2, 1)
+
+    def test_flat_id_row_major(self, grid):
+        assert grid.cell_id(Point(250.0, 150.0)) == 1 * 11 + 2
+
+    def test_out_of_bounds_clamped(self, grid):
+        assert grid.cell_of(Point(-50.0, -50.0)) == (0, 0)
+        assert grid.cell_of(Point(9999.0, 9999.0)) == (10, 5)
+
+    def test_cell_center_within_cell(self, grid):
+        center = grid.cell_center(13)  # row 1, col 2
+        assert grid.cell_id(center) == 13
+
+    def test_cell_center_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_center(66)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Grid(0, 0, 10, 10, cell_size=0.0)
+        with pytest.raises(ValueError):
+            Grid(0, 0, 0, 10, cell_size=1.0)
+
+
+class TestCovering:
+    def test_covers_all_points(self):
+        points = [Point(-5, 2), Point(100, 50), Point(30, -8)]
+        grid = Grid.covering(points, cell_size=10.0)
+        for p in points:
+            assert 0 <= grid.cell_id(p) < grid.num_cells
+
+    def test_margin_expands(self):
+        points = [Point(0, 0), Point(10, 10)]
+        no_margin = Grid.covering(points, cell_size=5.0)
+        margin = Grid.covering(points, cell_size=5.0, margin=20.0)
+        assert margin.num_cells > no_margin.num_cells
+
+    def test_empty_points(self):
+        with pytest.raises(ValueError):
+            Grid.covering([], cell_size=1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.floats(0, 999, allow_nan=False),
+    y=st.floats(0, 499, allow_nan=False),
+)
+def test_property_cell_id_in_range_and_consistent(x, y):
+    grid = Grid(0, 0, 1000, 500, cell_size=37.0)
+    p = Point(x, y)
+    cid = grid.cell_id(p)
+    assert 0 <= cid < grid.num_cells
+    # The centre of the reported cell maps back to the same cell.
+    assert grid.cell_id(grid.cell_center(cid)) == cid
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.floats(1, 998, allow_nan=False),
+    y=st.floats(1, 498, allow_nan=False),
+)
+def test_property_point_within_half_diagonal_of_center(x, y):
+    grid = Grid(0, 0, 1000, 500, cell_size=50.0)
+    p = Point(x, y)
+    center = grid.cell_center(grid.cell_id(p))
+    assert p.distance_to(center) <= (50.0 * 2**0.5) / 2 + 1e-9

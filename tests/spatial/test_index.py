@@ -1,0 +1,69 @@
+"""Tests for the grid-bucket spatial index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Point, SegmentIndex, grid_city
+
+
+@pytest.fixture(scope="module")
+def world():
+    network = grid_city(nx=6, ny=6, spacing=200.0, rng=np.random.default_rng(8))
+    return network, SegmentIndex(network, bucket_size=150.0)
+
+
+class TestQueries:
+    def test_matches_linear_scan(self, world):
+        network, index = world
+        rng = np.random.default_rng(1)
+        min_x, min_y, max_x, max_y = network.bounding_box()
+        for _ in range(25):
+            p = Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
+            got = {s.segment_id for s, _ in index.query(p, 120.0)}
+            expected = {s.segment_id for s, _ in network.segments_near(p, 120.0)}
+            if expected:  # index may widen when nothing matches
+                assert got == expected
+
+    def test_sorted_by_distance(self, world):
+        _, index = world
+        results = index.query(Point(300, 300), 400.0)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_widens_until_found(self, world):
+        _, index = world
+        # A point far outside the network still returns candidates.
+        results = index.query(Point(-5000.0, -5000.0), 50.0)
+        assert results
+
+    def test_invalid_radius(self, world):
+        _, index = world
+        with pytest.raises(ValueError):
+            index.query(Point(0, 0), 0.0)
+
+    def test_invalid_bucket_size(self, world):
+        network, _ = world
+        with pytest.raises(ValueError):
+            SegmentIndex(network, bucket_size=-1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.floats(-100, 1100, allow_nan=False),
+    y=st.floats(-100, 1100, allow_nan=False),
+    radius=st.floats(10, 500, allow_nan=False),
+)
+def test_property_index_results_within_radius_match_scan(x, y, radius):
+    """Every hit reported inside the requested radius is correct, and no
+    in-radius segment is missed (when any exist)."""
+    network = grid_city(nx=5, ny=5, spacing=250.0, rng=np.random.default_rng(2))
+    index = SegmentIndex(network, bucket_size=200.0)
+    p = Point(x, y)
+    expected = {s.segment_id for s, _ in network.segments_near(p, radius)}
+    got_all = index.query(p, radius)
+    got_within = {s.segment_id for s, d in got_all if d <= radius}
+    assert got_within == expected

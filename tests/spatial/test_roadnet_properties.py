@@ -1,0 +1,68 @@
+"""Property-based tests of road-network distance invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import grid_city
+
+NETWORK = grid_city(nx=5, ny=5, spacing=200.0, drop_prob=0.0,
+                    rng=np.random.default_rng(42))
+
+segments = st.integers(0, NETWORK.num_segments - 1)
+ratios = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seg_a=segments, r_a=ratios, seg_b=segments, r_b=ratios)
+def test_route_distance_nonnegative_and_zero_on_self(seg_a, r_a, seg_b, r_b):
+    d = NETWORK.route_distance(seg_a, r_a, seg_b, r_b)
+    assert d >= 0.0
+    assert NETWORK.route_distance(seg_a, r_a, seg_a, r_a) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(seg_a=segments, r_a=ratios, seg_b=segments, r_b=ratios)
+def test_symmetric_distance_is_min_and_symmetric(seg_a, r_a, seg_b, r_b):
+    forward = NETWORK.route_distance(seg_a, r_a, seg_b, r_b)
+    backward = NETWORK.route_distance(seg_b, r_b, seg_a, r_a)
+    sym_ab = NETWORK.symmetric_route_distance(seg_a, r_a, seg_b, r_b)
+    sym_ba = NETWORK.symmetric_route_distance(seg_b, r_b, seg_a, r_a)
+    assert sym_ab == pytest.approx(min(forward, backward))
+    assert sym_ab == pytest.approx(sym_ba)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seg_a=segments, r_a=ratios, seg_b=segments, r_b=ratios)
+def test_route_distance_at_least_euclidean(seg_a, r_a, seg_b, r_b):
+    """Travel along roads can never beat the straight line."""
+    d = NETWORK.symmetric_route_distance(seg_a, r_a, seg_b, r_b)
+    a = NETWORK.position_at(seg_a, r_a)
+    b = NETWORK.position_at(seg_b, r_b)
+    assert d >= a.distance_to(b) - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seg_a=segments, r_a=ratios,
+    seg_b=segments, r_b=ratios,
+    seg_c=segments, r_c=ratios,
+)
+def test_route_distance_triangle_inequality(seg_a, r_a, seg_b, r_b, seg_c, r_c):
+    """Directed route distance obeys the triangle inequality (shortest
+    paths compose)."""
+    ab = NETWORK.route_distance(seg_a, r_a, seg_b, r_b)
+    bc = NETWORK.route_distance(seg_b, r_b, seg_c, r_c)
+    ac = NETWORK.route_distance(seg_a, r_a, seg_c, r_c)
+    assert ac <= ab + bc + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(seg=segments, r1=ratios, r2=ratios)
+def test_same_segment_forward_distance_linear(seg, r1, r2):
+    lo, hi = sorted((r1, r2))
+    d = NETWORK.route_distance(seg, lo, seg, hi)
+    assert d == pytest.approx((hi - lo) * NETWORK.segment(seg).length, abs=1e-9)

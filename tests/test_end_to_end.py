@@ -1,0 +1,111 @@
+"""End-to-end integration: the full pipeline a downstream user runs.
+
+raw noisy GPS -> HMM map matching -> downsample/encode -> Non-IID
+federation -> teacher + meta-distilled federated training -> recovery
+-> all four paper metrics.  Unlike the unit tests, nothing here uses
+the generator's ground-truth matched trajectories as model input - the
+model trains on what the map matcher produced, as in production.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_model_factory
+from repro.core import (
+    ConstraintMaskBuilder,
+    RecoveryModelConfig,
+    TrainingConfig,
+    TrajectoryRecovery,
+)
+from repro.data import TrajectoryDataset, geolife_like, partition_trajectories
+from repro.federated import FederatedConfig, FederatedTrainer
+from repro.federated.client import ClientData
+from repro.mapmatch import HMMMapMatcher
+from repro.metrics import evaluate_model
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    world = geolife_like(num_drivers=6, trajectories_per_driver=4,
+                         points_per_trajectory=17, seed=21)
+
+    # 1. Map-match the *noisy raw* GPS (not the generator's ground truth).
+    matcher = HMMMapMatcher(world.network, sigma=10.0)
+    matched = [matcher.match(raw) for raw in world.raw]
+
+    # 2. Build client shards from the matched trajectories.
+    rng = np.random.default_rng(0)
+    shards = partition_trajectories(matched, 3, rng)
+    clients = []
+    pooled_test = []
+    for shard in shards:
+        tds = TrajectoryDataset.from_matched(shard, world.grid, world.network,
+                                             keep_ratio=0.25)
+        train, valid, test = tds.split((0.6, 0.2, 0.2), rng=rng)
+        clients.append(ClientData(train=train,
+                                  valid=valid if len(valid) else train,
+                                  test=test))
+        pooled_test.extend(test.examples)
+    global_test = TrajectoryDataset(pooled_test, world.grid, world.network, 0.25)
+
+    # 3. Federated LightTR with the meta-knowledge module.
+    config = RecoveryModelConfig(
+        num_cells=world.grid.num_cells, num_segments=world.network.num_segments,
+        cell_emb_dim=8, seg_emb_dim=8, hidden_size=24, dropout=0.0,
+        bbox=world.network.bounding_box(),
+    )
+    mask = ConstraintMaskBuilder(world.network, radius=400.0)
+    factory = make_model_factory("LightTR", config, world.network, seed=4)
+    fed = FederatedConfig(rounds=3, local_epochs=1,
+                          training=TrainingConfig(epochs=1, batch_size=8,
+                                                  lr=3e-3),
+                          use_meta=True, lt=0.0)
+    result = FederatedTrainer(factory, clients, mask, fed, global_test,
+                              seed=1).run()
+    return world, mask, result, global_test
+
+
+class TestFullPipeline:
+    def test_training_history_complete(self, pipeline_result):
+        _, _, result, _ = pipeline_result
+        assert len(result.history) == 3
+        assert result.teacher_result is not None
+        assert result.ledger.total_bytes > 0
+
+    def test_metrics_on_matched_ground_truth(self, pipeline_result):
+        world, mask, result, global_test = pipeline_result
+        row = evaluate_model(result.global_model, mask, global_test)
+        # The model must clearly beat uniform guessing over ~200 segments.
+        assert row.recall > 0.05
+        assert row.accuracy > 0.05
+        assert np.isfinite(row.mae) and np.isfinite(row.rmse)
+
+    def test_recovered_trajectories_are_map_matched(self, pipeline_result):
+        world, mask, result, global_test = pipeline_result
+        recovery = TrajectoryRecovery(result.global_model, mask)
+        for rec in recovery.recover_dataset(global_test):
+            for p in rec.trajectory.points:
+                assert 0 <= p.segment_id < world.network.num_segments
+                assert 0.0 <= p.ratio <= 1.0
+
+    def test_recovered_route_is_spatially_coherent(self, pipeline_result):
+        """Consecutive recovered points stay within plausible travel
+        distance of each other (the constraint mask + feedback loop at
+        work) - measured as straight-line displacement per step."""
+        world, mask, result, global_test = pipeline_result
+        recovery = TrajectoryRecovery(result.global_model, mask)
+        rec = recovery.recover_dataset(global_test)[0].trajectory
+        positions = rec.positions(world.network)
+        steps = [a.distance_to(b) for a, b in zip(positions, positions[1:])]
+        assert np.median(steps) < 1200.0  # world spans ~2 km
+
+    def test_privacy_of_uploads(self, pipeline_result):
+        """No raw coordinates cross the wire: uploads are exactly the
+        model parameter names."""
+        _, _, result, _ = pipeline_result
+        client = result.clients[0]
+        state = client.model.state_dict()
+        assert all(isinstance(v, np.ndarray) for v in state.values())
+        assert set(state) == {n for n, _ in client.model.named_parameters()}
