@@ -1,0 +1,238 @@
+"""Hot-path timing benchmark: fused kernels vs the per-step tape path.
+
+Times the three layers the fused/vectorized refactor targets —
+
+* encoder forward + backward (one fused GRU scan vs T per-step cells),
+* one local training epoch (fused teacher-forced decode, batched
+  constraint-mask build, flat-buffer Adam),
+* one full federated round (flat-vector broadcast/upload/aggregate),
+
+and writes the measurements to ``BENCH_hotpath.json`` at the repo root
+so future PRs can track the speed trajectory.
+
+The baseline epoch leg reconstructs the *pre-PR* hot path faithfully:
+per-step tape kernels (``use_fused_kernels(False)``), the per-point
+``ConstraintMaskBuilder.build_reference`` double loop, and a
+per-parameter-tensor Adam/clip loop.  Marked ``slow``: tier-1
+(`pytest -x -q`) skips it; run with
+
+    pytest -m slow benchmarks/test_perf_hotpath.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import ConstraintMaskBuilder, RecoveryModelConfig
+from repro.core.lte import LTEModel
+from repro.core.training import TrainingConfig
+from repro.data import TrajectoryDataset, geolife_like
+from repro.federated import FederatedConfig, FederatedTrainer, build_federation
+from repro.nn.tensor import Tensor
+
+pytestmark = pytest.mark.slow
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+
+HIDDEN = 48
+EMB = 16
+BATCH = 16
+REPEATS = 9
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _world():
+    world = geolife_like(num_drivers=12, trajectories_per_driver=8,
+                         points_per_trajectory=33, seed=7)
+    dataset = TrajectoryDataset.from_matched(world.matched, world.grid,
+                                             world.network, keep_ratio=0.25)
+    return world, dataset
+
+
+def _model_config(world, dataset) -> RecoveryModelConfig:
+    return RecoveryModelConfig(
+        num_cells=dataset.num_cells, num_segments=dataset.num_segments,
+        cell_emb_dim=EMB, seg_emb_dim=EMB, hidden_size=HIDDEN,
+        num_st_blocks=2, dropout=0.0, bbox=world.network.bounding_box(),
+    )
+
+
+# ----------------------------------------------------------------------
+# pre-PR reference pieces (what the seed tree did before this refactor)
+# ----------------------------------------------------------------------
+class _ReferenceMaskBuilder(ConstraintMaskBuilder):
+    """Builds batch masks with the original per-point double loop."""
+
+    def build(self, batch):
+        return self.build_reference(batch)
+
+
+def _reference_clip_grad_norm(parameters, max_norm: float) -> float:
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in parameters:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return total
+
+
+class _ReferenceAdam:
+    """The seed tree's per-parameter-tensor Adam loop."""
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def zero_grad(self):
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self):
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+def _run_epoch(model, dataset, mask_builder, optimizer, clip, rng):
+    """One training epoch with pluggable mask/optimizer (both legs)."""
+    config = TrainingConfig(batch_size=BATCH)
+    model.train()
+    for batch in dataset.batches(config.batch_size, rng=rng):
+        log_mask = mask_builder.build(batch)
+        optimizer.zero_grad()
+        output = model(batch, log_mask, teacher_forcing=True)
+        loss, _ = model.loss(output, batch, mu=config.mu)
+        loss.backward()
+        clip(model.parameters(), config.grad_clip)
+        optimizer.step()
+
+
+def _time_encoder() -> dict:
+    rng = np.random.default_rng(0)
+    gru = nn.GRU(EMB + 2, HIDDEN, np.random.default_rng(1))
+    x_data = rng.standard_normal((64, 33, EMB + 2))
+
+    def run():
+        x = Tensor(x_data, requires_grad=True)
+        gru.zero_grad()
+        _, last = gru(x)
+        last.sum().backward()
+
+    timings = {}
+    for label, fused in (("fused", True), ("stepwise", False)):
+        with nn.use_fused_kernels(fused):
+            run()  # warm up
+            timings[label] = _best_of(run)
+    timings["speedup"] = timings["stepwise"] / timings["fused"]
+    return timings
+
+
+def _time_epoch() -> dict:
+    world, dataset = _world()
+    config = _model_config(world, dataset)
+    timings = {}
+
+    # Fused leg: current defaults (fused kernels, vectorized mask build,
+    # flat-buffer Adam + clip).
+    model = LTEModel(config, np.random.default_rng(3))
+    mask_builder = ConstraintMaskBuilder(world.network, radius=500.0)
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(4)
+    run = lambda: _run_epoch(model, dataset, mask_builder, optimizer,
+                             nn.clip_grad_norm, rng)
+    with nn.use_fused_kernels(True):
+        run()  # warm caches
+        timings["fused"] = _best_of(run)
+
+    # Baseline leg: the pre-PR hot path (per-step tape kernels,
+    # per-point mask build, per-tensor Adam/clip loops, uncached
+    # per-example collation).
+    model = LTEModel(config, np.random.default_rng(3))
+    mask_builder = _ReferenceMaskBuilder(world.network, radius=500.0)
+    optimizer = _ReferenceAdam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(4)
+
+    def run_baseline():
+        dataset._obs_feat_cache.clear()  # pre-PR recollated every epoch
+        _run_epoch(model, dataset, mask_builder, optimizer,
+                   _reference_clip_grad_norm, rng)
+
+    with nn.use_fused_kernels(False):
+        run_baseline()
+        timings["stepwise_pre_pr"] = _best_of(run_baseline)
+
+    timings["speedup"] = timings["stepwise_pre_pr"] / timings["fused"]
+    return timings
+
+
+def _time_federated_round() -> dict:
+    world, _ = _world()
+    clients, global_test = build_federation(world, num_clients=4,
+                                            keep_ratio=0.25)
+    dataset = TrajectoryDataset.from_matched(world.matched, world.grid,
+                                             world.network, keep_ratio=0.25)
+    config = _model_config(world, dataset)
+    mask_builder = ConstraintMaskBuilder(world.network, radius=500.0)
+    fed_config = FederatedConfig(rounds=1, local_epochs=1, use_meta=False,
+                                 training=TrainingConfig(batch_size=BATCH))
+    trainer = FederatedTrainer(
+        lambda: LTEModel(config, np.random.default_rng(5)),
+        clients, mask_builder, fed_config, global_test, seed=0,
+    )
+    start = time.perf_counter()
+    trainer.run()
+    return {"fused": time.perf_counter() - start}
+
+
+def test_perf_hotpath():
+    encoder = _time_encoder()
+    epoch = _time_epoch()
+    fed_round = _time_federated_round()
+
+    report = {
+        "encoder_forward_backward_seconds": encoder,
+        "local_epoch_seconds": epoch,
+        "federated_round_seconds": fed_round,
+    }
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    # The fused hot path must beat the pre-PR per-step tape path clearly.
+    assert encoder["speedup"] > 1.3, encoder
+    assert epoch["speedup"] >= 3.0, epoch

@@ -20,3 +20,38 @@ Top-level convenience re-exports.  The heavy lifting lives in:
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+
+def _tune_allocator() -> None:
+    """Stop glibc from returning hot NumPy buffers to the kernel.
+
+    The training hot path allocates and frees ~1 MB float64 arrays (the
+    ``(B, T, S)`` masks/softmaxes) every batch.  By default glibc serves
+    those via ``mmap``/``munmap``, so every allocation pays ~200 us of
+    page faults to re-touch memory it just gave back.  Raising the mmap
+    and trim thresholds keeps the pages in the process; this
+    measured ~3x faster for a fresh-array elementwise pass.  Linux/glibc
+    only; silently skipped elsewhere.  The settings are process-wide
+    (up to ~64 MB of freed heap stays resident), so hosts embedding
+    this package for non-training use can opt out by setting
+    ``REPRO_MALLOC_TUNING=0`` before import.
+    """
+    import ctypes
+    import os
+    import sys
+
+    if not sys.platform.startswith("linux"):
+        return
+    if os.environ.get("REPRO_MALLOC_TUNING", "1") == "0":
+        return
+    try:
+        libc = ctypes.CDLL("libc.so.6")
+        m_trim_threshold, m_top_pad, m_mmap_threshold = -1, -2, -3
+        libc.mallopt(m_mmap_threshold, 64 * 1024 * 1024)
+        libc.mallopt(m_trim_threshold, 64 * 1024 * 1024)
+        libc.mallopt(m_top_pad, 16 * 1024 * 1024)
+    except (OSError, AttributeError):  # non-glibc libc
+        pass
+
+
+_tune_allocator()

@@ -60,6 +60,24 @@ class LTEModel(RecoveryModel):
         _, h = self.encoder(x, mask=batch.obs_mask)
         return h
 
+    def _step_extras(self, batch: Batch) -> np.ndarray:
+        """Auxiliary decode inputs for every step: ``(B, T, 4)``.
+
+        Per step: the step fraction, the normalised guide position, and
+        the observed flag.
+        """
+        b, t = batch.tgt_segments.shape
+        guide = self._normalise_guides(batch.guide_xy)
+        fractions = np.arange(t, dtype=np.float64) / max(1, t - 1)
+        return np.concatenate(
+            [
+                np.broadcast_to(fractions[None, :, None], (b, t, 1)),
+                guide,
+                batch.observed_flags[..., None].astype(np.float64),
+            ],
+            axis=-1,
+        )
+
     def forward(self, batch: Batch, log_mask: np.ndarray,
                 teacher_forcing: bool = True) -> ModelOutput:
         """Recover the complete trajectory.
@@ -76,31 +94,86 @@ class LTEModel(RecoveryModel):
             step; at inference, feed the model's own predictions (with
             observed points clamped to their known values - they are
             inputs, not predictions).
+
+        The fused hot paths (whole-sequence decode under teacher
+        forcing; tape-free autoregressive decode under ``no_grad``) are
+        taken by default; disabling fusion falls back to the per-step
+        reference loop.
         """
         self._validate_mask(log_mask, batch, self.config.num_segments)
-        b, t = batch.tgt_segments.shape
         h = self.encode(batch)
-        states = self.st_operator.initial_states(h)
+        extras = self._step_extras(batch)
 
-        guide = self._normalise_guides(batch.guide_xy)
+        if nn.fused_kernels_enabled():
+            if teacher_forcing:
+                return self._forward_teacher_forced_fused(batch, log_mask, h,
+                                                          extras)
+            if not nn.is_grad_enabled():
+                return self._forward_inference_fused(batch, log_mask, h, extras)
+        return self._forward_stepwise(batch, log_mask, h, extras,
+                                      teacher_forcing)
+
+    def _forward_teacher_forced_fused(self, batch: Batch, log_mask: np.ndarray,
+                                      h: Tensor, extras: np.ndarray
+                                      ) -> ModelOutput:
+        """Whole-sequence decode: ground-truth inputs are known up front."""
+        # Step t consumes the ground truth of step t-1 (step 0 is observed).
+        prev_segments = np.concatenate(
+            [batch.tgt_segments[:, :1], batch.tgt_segments[:, :-1]], axis=1
+        )
+        prev_ratios = np.concatenate(
+            [batch.tgt_ratios[:, :1], batch.tgt_ratios[:, :-1]], axis=1
+        )
+        log_probs, ratios, segments = self.st_operator.forward_teacher_forced(
+            self.st_operator.initial_states(h), prev_segments, prev_ratios,
+            extras, log_mask,
+        )
+        return ModelOutput(log_probs=log_probs, ratios=ratios, segments=segments)
+
+    def _forward_inference_fused(self, batch: Batch, log_mask: np.ndarray,
+                                 h: Tensor, extras: np.ndarray) -> ModelOutput:
+        """Tape-free autoregressive decode (predictions feed back)."""
+        b, t = batch.tgt_segments.shape
+        states = [h.data for _ in range(self.st_operator.num_blocks)]
+        prev_segments = batch.tgt_segments[:, 0].copy()
+        prev_ratios = batch.tgt_ratios[:, 0].copy()
+        log_probs = np.empty((b, t, self.config.num_segments))
+        ratios = np.empty((b, t))
+        segments = np.empty((b, t), dtype=np.int64)
+        for step in range(t):
+            states, step_logs, step_segments, step_ratios = (
+                self.st_operator.step_inference(
+                    states, prev_segments, prev_ratios, extras[:, step],
+                    log_mask[:, step, :],
+                )
+            )
+            log_probs[:, step] = step_logs
+            segments[:, step] = step_segments
+            ratios[:, step] = step_ratios
+            observed = batch.observed_flags[:, step]
+            prev_segments = np.where(observed, batch.tgt_segments[:, step],
+                                     step_segments)
+            prev_ratios = np.where(observed, batch.tgt_ratios[:, step],
+                                   np.clip(step_ratios, 0.0, 1.0))
+        return ModelOutput(log_probs=nn.Tensor(log_probs),
+                           ratios=nn.Tensor(ratios), segments=segments)
+
+    def _forward_stepwise(self, batch: Batch, log_mask: np.ndarray, h: Tensor,
+                          extras: np.ndarray, teacher_forcing: bool
+                          ) -> ModelOutput:
+        """Reference per-step decode driving :meth:`LightweightSTOperator.step`."""
+        b, t = batch.tgt_segments.shape
+        states = self.st_operator.initial_states(h)
         prev_segments = batch.tgt_segments[:, 0].copy()  # index 0 is observed
         prev_ratios: Tensor = nn.Tensor(batch.tgt_ratios[:, 0].copy())
 
         step_logs: list[Tensor] = []
         step_ratios: list[Tensor] = []
         step_segments: list[np.ndarray] = []
-        denominator = max(1, t - 1)
         for step in range(t):
-            extras = np.concatenate(
-                [
-                    np.full((b, 1), step / denominator),
-                    guide[:, step, :],
-                    batch.observed_flags[:, step : step + 1].astype(np.float64),
-                ],
-                axis=1,
-            )
             states, out = self.st_operator.step(
-                states, prev_segments, prev_ratios, extras, log_mask[:, step, :]
+                states, prev_segments, prev_ratios, extras[:, step],
+                log_mask[:, step, :]
             )
             step_logs.append(out.log_probs)
             step_ratios.append(out.ratios)

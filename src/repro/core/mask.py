@@ -27,6 +27,10 @@ GAMMA_DEFAULT = 125.0
 #: gradients stay well-defined, but small enough to never win argmax.
 _FLOOR_LOG = -30.0
 
+#: Cache quantisation step in metres: guide points within the same
+#: 25 m cell share one mask row.
+_QUANT = 25.0
+
 
 class ConstraintMaskBuilder:
     """Builds per-timestep log mask weights over the segment vocabulary.
@@ -60,32 +64,118 @@ class ConstraintMaskBuilder:
         self.identity = identity
         self.index = index if index is not None else SegmentIndex(network)
         self._cache: dict[tuple[int, int], np.ndarray] = {}
+        # Row-matrix mirror of the cache for batched gathers: row i of
+        # ``_row_matrix`` is the mask of the key at ``_key_to_row[key]``.
+        self._key_to_row: dict[tuple[int, int], int] = {}
+        self._row_matrix = np.empty((0, network.num_segments))
+        # Sorted encoded-key index for vectorized batch lookups: once a
+        # batch's keys are all known, `build` is pure searchsorted+gather.
+        self._enc_sorted = np.empty(0, dtype=np.int64)
+        self._enc_rows = np.empty(0, dtype=np.int64)
 
     def log_mask_for_point(self, x: float, y: float) -> np.ndarray:
         """Log mask weights ``log c`` over all segments for one guide point.
 
         Results are cached on a 25 m quantised key: guide positions from
         the same neighbourhood share masks, which makes epoch loops cheap.
+        The cached row is returned read-only; copy before mutating.
         """
-        num_segments = self.network.num_segments
         if self.identity:
-            return np.zeros(num_segments)
-        key = (int(x // 25.0), int(y // 25.0))
+            return np.zeros(self.network.num_segments)
+        return self._row_for_key((int(x // _QUANT), int(y // _QUANT)))
+
+    def _row_for_key(self, key: tuple[int, int]) -> np.ndarray:
+        """Compute (or fetch) the read-only mask row of one quantised key."""
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        qx = (key[0] + 0.5) * 25.0
-        qy = (key[1] + 0.5) * 25.0
-        log_mask = np.full(num_segments, _FLOOR_LOG)
+        qx = (key[0] + 0.5) * _QUANT
+        qy = (key[1] + 0.5) * _QUANT
+        log_mask = np.full(self.network.num_segments, _FLOOR_LOG)
         for seg, dist in self.index.query(Point(qx, qy), self.radius):
             log_mask[seg.segment_id] = max(
                 _FLOOR_LOG, -(dist * dist) / (self.gamma * self.gamma)
             )
+        log_mask.flags.writeable = False  # callers share this row
         self._cache[key] = log_mask
         return log_mask
 
+    def _row_index_for_key(self, key: tuple[int, int]) -> int:
+        """Index of ``key``'s row in the gather matrix (computing it once)."""
+        idx = self._key_to_row.get(key)
+        if idx is None:
+            row = self._row_for_key(key)
+            idx = len(self._key_to_row)
+            if idx >= self._row_matrix.shape[0]:  # grow geometrically
+                capacity = max(64, 2 * self._row_matrix.shape[0])
+                grown = np.empty((capacity, self.network.num_segments))
+                grown[:idx] = self._row_matrix[:idx]
+                self._row_matrix = grown
+            self._row_matrix[idx] = row
+            self._key_to_row[key] = idx
+        return idx
+
     def build(self, batch: Batch) -> np.ndarray:
-        """Log mask weights for a whole batch: shape ``(B, T, num_segments)``."""
+        """Log mask weights for a whole batch: shape ``(B, T, num_segments)``.
+
+        Vectorized over the unique quantised cache keys of the batch:
+        each distinct key's row is computed (or fetched) once, and the
+        dense ``(B, T, S)`` mask is assembled with a single fancy-index
+        gather from the ``(U, S)`` row matrix instead of ``B * T``
+        Python-level lookups and row copies.
+        """
+        b, t = batch.guide_xy.shape[:2]
+        num_segments = self.network.num_segments
+        if self.identity:
+            return np.zeros((b, t, num_segments))
+        quantised = np.floor_divide(batch.guide_xy, _QUANT).astype(np.int64)
+        kx = quantised[..., 0].reshape(-1)
+        ky = quantised[..., 1].reshape(-1)
+        # Injective for |k| < 2^31 (coordinates within ~5e10 m of origin).
+        encoded = kx * (np.int64(1) << 32) + ky
+        position, hit = self._locate(encoded)
+        if not hit.all():
+            # Some keys are new: compute each distinct missing key's row
+            # once, refresh the sorted index, and look up again (one
+            # extra pass; positions shift when the index grows).
+            miss_idx = np.flatnonzero(~hit)
+            _, first = np.unique(encoded[miss_idx], return_index=True)
+            for i in miss_idx[first]:
+                self._row_index_for_key((int(kx[i]), int(ky[i])))
+            self._refresh_sorted_index()
+            position, _ = self._locate(encoded)
+        return self._row_matrix[self._enc_rows[position]].reshape(
+            b, t, num_segments)
+
+    def _locate(self, encoded: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One searchsorted pass: ``(positions, hit_mask)`` for ``encoded``."""
+        if self._enc_sorted.size == 0:
+            return (np.zeros(encoded.shape, dtype=np.int64),
+                    np.zeros(encoded.shape, dtype=bool))
+        position = np.minimum(np.searchsorted(self._enc_sorted, encoded),
+                              self._enc_sorted.size - 1)
+        return position, self._enc_sorted[position] == encoded
+
+    def _refresh_sorted_index(self) -> None:
+        """Rebuild the sorted encoded-key arrays from the key dict."""
+        if not self._key_to_row:
+            self._enc_sorted = np.empty(0, dtype=np.int64)
+            self._enc_rows = np.empty(0, dtype=np.int64)
+            return
+        keys = np.array([k[0] * (1 << 32) + k[1] for k in self._key_to_row],
+                        dtype=np.int64)
+        rows = np.fromiter(self._key_to_row.values(), dtype=np.int64,
+                           count=len(self._key_to_row))
+        order = np.argsort(keys)
+        self._enc_sorted = keys[order]
+        self._enc_rows = rows[order]
+
+    def build_reference(self, batch: Batch) -> np.ndarray:
+        """Per-point reference build (the pre-vectorization path).
+
+        Kept for equivalence tests and as the baseline leg of the
+        hot-path benchmark; ``build`` produces identical values.
+        """
         b, t = batch.guide_xy.shape[:2]
         out = np.empty((b, t, self.network.num_segments))
         for i in range(b):
@@ -98,3 +188,7 @@ class ConstraintMaskBuilder:
     def clear_cache(self) -> None:
         """Drop memoised masks (tests / after changing parameters)."""
         self._cache.clear()
+        self._key_to_row.clear()
+        self._row_matrix = np.empty((0, self.network.num_segments))
+        self._enc_sorted = np.empty(0, dtype=np.int64)
+        self._enc_rows = np.empty(0, dtype=np.int64)

@@ -122,6 +122,102 @@ class LightweightSTOperator(nn.Module):
             segments=segments, ratios=ratios.reshape(-1),
         )
 
+    def forward_teacher_forced(self, initial_states: list[Tensor],
+                               prev_segments: np.ndarray,
+                               prev_ratios: np.ndarray,
+                               extras: np.ndarray,
+                               log_mask: np.ndarray
+                               ) -> tuple[Tensor, Tensor, np.ndarray]:
+        """Fused decode of the whole sequence under teacher forcing.
+
+        With teacher forcing the per-step inputs (previous ground-truth
+        segment/ratio and the auxiliary features) are known up front, so
+        the recurrence collapses to one fused RNN scan per block and the
+        MT head applies to all ``(B, T)`` positions in a handful of
+        batched ops — one embedding lookup, one masked log-softmax over
+        ``(B, T, S)``, two dense layers — instead of ``T`` per-step
+        closures.  Numerically equivalent to driving :meth:`step`.
+
+        Parameters
+        ----------
+        initial_states:
+            Per-block initial recurrent states, each ``(B, H)``.
+        prev_segments:
+            ``(B, T)`` previous ground-truth segment ids per step.
+        prev_ratios:
+            ``(B, T)`` previous ground-truth moving ratios per step.
+        extras:
+            ``(B, T, extra_inputs)`` auxiliary step features.
+        log_mask:
+            ``(B, T, S)`` constraint-mask log weights.
+
+        Returns
+        -------
+        (log_probs, ratios, segments):
+            ``(B, T, S)`` masked log-probabilities, ``(B, T)`` predicted
+            ratios, and ``(B, T)`` argmax segment ids.
+        """
+        batch, steps = prev_segments.shape
+        prev_emb = self.seg_embedding(prev_segments)  # (B, T, E)
+        x = nn.concat(
+            [prev_emb, Tensor(prev_ratios[..., None]), Tensor(extras)], axis=-1
+        )
+        for cell, h0 in zip(self.cells, initial_states):
+            x = cell.scan(x, h0)  # (B, T, H) fused BPTT node
+        h_prime = x  # top block states (Eq. 7's h'_t for every t)
+
+        h_d = self.dense_d(h_prime)  # (B, T, H)
+        logits = self.seg_head(h_d)  # (B, T, S)
+        log_probs = nn.masked_log_softmax(logits, log_mask)  # Eq. 11
+        segments = np.argmax(log_probs.data, axis=-1).astype(np.int64)
+
+        seg_emb = self.seg_embedding(segments)  # (B, T, E), detached ids
+        h_e = (h_d + self.emb_proj(seg_emb)).relu()  # Eq. 8 Emb step
+        ratios = self.ratio_head(nn.concat([h_e, seg_emb], axis=-1)).relu()
+        return log_probs, ratios.reshape(batch, steps), segments
+
+    def step_inference(self, hidden_states: list[np.ndarray],
+                       prev_segments: np.ndarray, prev_ratios: np.ndarray,
+                       extras: np.ndarray, log_mask_t: np.ndarray
+                       ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray,
+                                  np.ndarray]:
+        """One decoding step on raw arrays (no tape): the inference path.
+
+        Mirrors :meth:`step` operation by operation but skips all tape
+        bookkeeping, which dominates the cost of autoregressive decoding
+        under ``no_grad``.  Returns ``(next_states, log_probs, segments,
+        ratios)`` as plain NumPy arrays.
+        """
+        emb_w = self.seg_embedding.weight.data
+        x = np.concatenate(
+            [emb_w[prev_segments], prev_ratios[:, None], extras], axis=1
+        )
+        next_states: list[np.ndarray] = []
+        for cell, h in zip(self.cells, hidden_states):
+            x = np.tanh(x @ cell.w_x.data + h @ cell.w_h.data + cell.bias.data)
+            next_states.append(x)
+
+        h_d = x @ self.dense_d.weight.data + self.dense_d.bias.data
+        logits = h_d @ self.seg_head.weight.data
+        if self.seg_head.bias is not None:
+            logits += self.seg_head.bias.data
+        masked = logits + log_mask_t
+        shifted = masked - masked.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        segments = np.argmax(log_probs, axis=-1).astype(np.int64)
+
+        seg_emb = emb_w[segments]
+        h_e = np.maximum(
+            h_d + seg_emb @ self.emb_proj.weight.data + self.emb_proj.bias.data,
+            0.0,
+        )
+        ratios = np.maximum(
+            np.concatenate([h_e, seg_emb], axis=1) @ self.ratio_head.weight.data
+            + self.ratio_head.bias.data,
+            0.0,
+        ).reshape(-1)
+        return next_states, log_probs, segments, ratios
+
     def initial_states(self, encoder_state: Tensor) -> list[Tensor]:
         """Per-block initial recurrent states seeded by the encoder."""
         return [encoder_state for _ in range(self.num_blocks)]

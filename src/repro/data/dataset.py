@@ -121,6 +121,10 @@ class TrajectoryDataset:
         self.grid = grid
         self.network = network
         self.keep_ratio = keep_ratio
+        # Per-example observed-feature rows, computed once: epoch loops
+        # re-collate the same examples every pass (only batch composition
+        # changes with the shuffle).
+        self._obs_feat_cache: dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.examples)
@@ -202,10 +206,13 @@ class TrajectoryDataset:
         for i, e in enumerate(chunk):
             no, nf = e.num_observed, e.full_length
             obs_cells[i, :no] = e.obs_cells
-            denom = max(1.0, float(nf - 1))
-            obs_feats[i, :no, 0] = e.obs_tids / denom
-            gaps = np.diff(e.obs_tids, prepend=e.obs_tids[0])
-            obs_feats[i, :no, 1] = gaps / denom
+            feats = self._obs_feat_cache.get(id(e))
+            if feats is None:
+                denom = max(1.0, float(nf - 1))
+                gaps = np.diff(e.obs_tids, prepend=e.obs_tids[0])
+                feats = np.stack([e.obs_tids / denom, gaps / denom], axis=1)
+                self._obs_feat_cache[id(e)] = feats
+            obs_feats[i, :no] = feats
             obs_mask[i, :no] = True
             tgt_segments[i, :nf] = e.tgt_segments
             tgt_ratios[i, :nf] = e.tgt_ratios

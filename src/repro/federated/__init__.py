@@ -1,8 +1,8 @@
 """``repro.federated`` - client/server FedAvg orchestration for LightTR."""
 
-from .aggregation import average_states, fedavg
+from .aggregation import average_flat, average_states, fedavg
 from .client import ClientData, FederatedClient
-from .communication import CommunicationLedger, RoundCost
+from .communication import CommunicationLedger, RoundCost, payload_num_bytes
 from .privacy import GaussianMechanism
 from .server import FederatedServer
 from .trainer import (
@@ -15,9 +15,9 @@ from .trainer import (
 )
 
 __all__ = [
-    "average_states", "fedavg",
+    "average_flat", "average_states", "fedavg",
     "ClientData", "FederatedClient",
-    "CommunicationLedger", "RoundCost",
+    "CommunicationLedger", "RoundCost", "payload_num_bytes",
     "GaussianMechanism",
     "FederatedServer",
     "FederatedConfig", "FederatedTrainer", "FederatedResult", "RoundRecord",

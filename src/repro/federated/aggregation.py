@@ -4,6 +4,12 @@ Algorithm 3 line 11 averages the uploaded client parameters uniformly
 (``theta_s <- sum 1/C theta_ci``); we also provide the data-weighted
 FedAvg variant of McMahan et al. [21], used by the baselines'
 ``+FL`` wrappers.
+
+Aggregation is flat-vector native: each client's parameters are one
+``(P,)`` vector and averaging ``C`` clients is a single ``np.average``
+over the stacked ``(C, P)`` matrix.  The dict-based
+:func:`average_states` API is kept as a thin shim (with its validation
+errors intact) for callers that still hold state dicts.
 """
 
 from __future__ import annotations
@@ -12,7 +18,41 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["average_states", "fedavg"]
+from ..nn.flatten import FlatLayout
+
+__all__ = ["average_flat", "average_states", "fedavg"]
+
+
+def _validated_weights(weights: list[float] | None, count: int) -> np.ndarray | None:
+    """Check weight count/positivity; None means the uniform mean."""
+    if weights is None:
+        return None
+    if len(weights) != count:
+        raise ValueError("need one weight per state")
+    weights = np.asarray(weights, dtype=np.float64)
+    if float(weights.sum()) <= 0:
+        raise ValueError("aggregation weights must sum to a positive value")
+    return weights
+
+
+def average_flat(stacked: np.ndarray, weights: list[float] | None = None
+                 ) -> np.ndarray:
+    """Weighted average of flat client vectors.
+
+    Parameters
+    ----------
+    stacked:
+        ``(C, P)`` matrix of one flat parameter vector per client.
+    weights:
+        Optional per-client weights; uniform mean when None.
+    """
+    stacked = np.asarray(stacked, dtype=np.float64)
+    if stacked.ndim != 2 or stacked.shape[0] == 0:
+        raise ValueError("cannot aggregate zero states")
+    weights = _validated_weights(weights, stacked.shape[0])
+    if weights is None:
+        return stacked.mean(axis=0)
+    return np.average(stacked, axis=0, weights=weights)
 
 
 def average_states(states: list[dict], weights: list[float] | None = None
@@ -20,7 +60,8 @@ def average_states(states: list[dict], weights: list[float] | None = None
     """Weighted average of state dicts (uniform when ``weights`` is None).
 
     All states must share exactly the same keys and shapes; this is
-    validated so a mis-matched client model fails loudly.
+    validated so a mis-matched client model fails loudly.  This is the
+    dict shim over :func:`average_flat`.
     """
     if not states:
         raise ValueError("cannot aggregate zero states")
@@ -28,25 +69,14 @@ def average_states(states: list[dict], weights: list[float] | None = None
     for i, state in enumerate(states[1:], start=1):
         if list(state.keys()) != keys:
             raise KeyError(f"client state {i} keys do not match client 0")
-    if weights is None:
-        weights = [1.0] * len(states)
-    if len(weights) != len(states):
-        raise ValueError("need one weight per state")
-    total = float(sum(weights))
-    if total <= 0:
-        raise ValueError("aggregation weights must sum to a positive value")
-
-    result: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for key in keys:
-        first = np.asarray(states[0][key], dtype=np.float64)
-        acc = np.zeros_like(first)
-        for state, w in zip(states, weights):
-            value = np.asarray(state[key], dtype=np.float64)
-            if value.shape != first.shape:
-                raise ValueError(f"shape mismatch for {key!r} during aggregation")
-            acc += (w / total) * value
-        result[key] = acc
-    return result
+    layout = FlatLayout.from_state(states[0])
+    stacked = np.empty((len(states), layout.total_size))
+    for row, state in zip(stacked, states):
+        try:
+            layout.flatten_state(state, out=row)
+        except ValueError as exc:
+            raise ValueError(f"shape mismatch during aggregation: {exc}") from exc
+    return layout.unflatten(average_flat(stacked, weights))
 
 
 def fedavg(states: list[dict], num_examples: list[int]) -> "OrderedDict[str, np.ndarray]":

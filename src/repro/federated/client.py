@@ -19,6 +19,7 @@ from ..core.distill import MetaKnowledgeDistiller
 from ..core.mask import ConstraintMaskBuilder
 from ..core.training import LocalTrainer, TrainingConfig
 from ..data.dataset import TrajectoryDataset
+from ..nn.flatten import FlatParameterSpace
 
 __all__ = ["ClientData", "FederatedClient"]
 
@@ -48,10 +49,29 @@ class FederatedClient:
         self.data = data
         self.model = model
         self.trainer = LocalTrainer(model, mask_builder, training, rng)
+        self._space = FlatParameterSpace.from_module(model)
 
     def receive_global(self, global_state: dict) -> None:
         """Download the server's parameters (Algorithm 3 line 4)."""
         self.model.load_state_dict(global_state)
+
+    def receive_global_flat(self, global_flat: np.ndarray) -> None:
+        """Download the server's parameters as one flat vector."""
+        self._space.set_flat(global_flat)
+
+    def _train_locally(self, epochs: int,
+                       distiller: MetaKnowledgeDistiller | None
+                       ) -> dict[str, float]:
+        lam = 0.0
+        if distiller is not None and len(self.data.valid) > 0:
+            lam = distiller.lambda_for_client(self.model, self.data.valid)
+        losses = self.trainer.train_epochs(self.data.train, epochs=epochs,
+                                           distiller=distiller, lam=lam)
+        return {
+            "loss": float(np.mean(losses)),
+            "lambda": lam,
+            "num_examples": float(self.data.num_train),
+        }
 
     def local_train(self, epochs: int,
                     distiller: MetaKnowledgeDistiller | None = None
@@ -61,17 +81,15 @@ class FederatedClient:
         Returns the uploaded state dict and a metrics dict containing
         the mean local loss and the lambda that was used.
         """
-        lam = 0.0
-        if distiller is not None and len(self.data.valid) > 0:
-            lam = distiller.lambda_for_client(self.model, self.data.valid)
-        losses = self.trainer.train_epochs(self.data.train, epochs=epochs,
-                                           distiller=distiller, lam=lam)
-        metrics = {
-            "loss": float(np.mean(losses)),
-            "lambda": lam,
-            "num_examples": float(self.data.num_train),
-        }
+        metrics = self._train_locally(epochs, distiller)
         return self.model.state_dict(), metrics
+
+    def local_train_flat(self, epochs: int,
+                         distiller: MetaKnowledgeDistiller | None = None
+                         ) -> tuple[np.ndarray, dict[str, float]]:
+        """Like :meth:`local_train` but uploads one flat ``(P,)`` vector."""
+        metrics = self._train_locally(epochs, distiller)
+        return self._space.get_flat(), metrics
 
     def validation_accuracy(self) -> float:
         """Segment accuracy on the client's validation split."""

@@ -10,9 +10,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..nn.serialization import state_dict_num_bytes
 
-__all__ = ["RoundCost", "CommunicationLedger"]
+__all__ = ["RoundCost", "CommunicationLedger", "payload_num_bytes"]
+
+
+def payload_num_bytes(payload) -> int:
+    """Wire size of one model payload: a flat vector or a state dict.
+
+    Flat vectors and state dicts of the same model cost the same bytes
+    (the float64 parameter payload); the flat path just computes it
+    without iterating keys.
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    return state_dict_num_bytes(payload)
 
 
 @dataclass(frozen=True)
@@ -35,11 +49,15 @@ class CommunicationLedger:
 
     rounds: list[RoundCost] = field(default_factory=list)
 
-    def record_round(self, round_index: int, global_state: dict,
-                     uploaded_states: list[dict]) -> RoundCost:
-        """Record one round's broadcast + uploads and return its cost."""
-        down = state_dict_num_bytes(global_state) * len(uploaded_states)
-        up = sum(state_dict_num_bytes(s) for s in uploaded_states)
+    def record_round(self, round_index: int, global_state,
+                     uploaded_states: list) -> RoundCost:
+        """Record one round's broadcast + uploads and return its cost.
+
+        ``global_state`` and each upload may be a state dict or a flat
+        ``(P,)`` parameter vector.
+        """
+        down = payload_num_bytes(global_state) * len(uploaded_states)
+        up = sum(payload_num_bytes(s) for s in uploaded_states)
         cost = RoundCost(
             round_index=round_index,
             num_clients=len(uploaded_states),

@@ -49,6 +49,27 @@ class GaussianMechanism:
         self.noise_multiplier = noise_multiplier
         self._rng = rng
 
+    def privatize_update_flat(self, local_flat: np.ndarray,
+                              global_flat: np.ndarray) -> np.ndarray:
+        """Clip-and-noise one flat parameter vector (the hot-path variant).
+
+        Identical mechanism to :meth:`privatize_update`, but the update
+        delta, its norm, the clipping, and the noise are all single
+        vectorized operations on ``(P,)`` arrays.
+        """
+        local_flat = np.asarray(local_flat, dtype=np.float64)
+        global_flat = np.asarray(global_flat, dtype=np.float64)
+        if local_flat.shape != global_flat.shape:
+            raise ValueError("local and global vectors have different sizes")
+        delta = local_flat - global_flat
+        total_norm = float(np.sqrt(np.dot(delta, delta)))
+        scale = min(1.0, self.clip_norm / (total_norm + 1e-12))
+        clipped = delta * scale
+        sigma = self.noise_multiplier * self.clip_norm
+        if sigma > 0:
+            clipped = clipped + self._rng.normal(0.0, sigma, size=clipped.shape)
+        return global_flat + clipped
+
     def privatize_update(self, local_state: dict, global_state: dict) -> dict:
         """Return a privatised version of ``local_state``.
 

@@ -2,6 +2,11 @@
 
 Holds the global model, samples a client fraction each round
 (Algorithm 3 line 2), and aggregates uploaded parameters (line 11).
+
+The server views the global model through a
+:class:`~repro.nn.flatten.FlatParameterSpace`: broadcast and
+aggregation move single ``(P,)`` vectors, and averaging ``C`` uploads
+is one ``np.average`` over the stacked ``(C, P)`` matrix.
 """
 
 from __future__ import annotations
@@ -9,7 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import RecoveryModel
-from .aggregation import average_states
+from ..nn.flatten import FlatParameterSpace
+from .aggregation import average_flat, average_states
 
 __all__ = ["FederatedServer"]
 
@@ -19,10 +25,15 @@ class FederatedServer:
 
     def __init__(self, global_model: RecoveryModel):
         self.global_model = global_model
+        self._space = FlatParameterSpace.from_module(global_model)
 
     def global_state(self) -> dict:
-        """The current global parameters (what gets broadcast)."""
+        """The current global parameters as a state dict."""
         return self.global_model.state_dict()
+
+    def global_flat(self) -> np.ndarray:
+        """The current global parameters as one flat ``(P,)`` vector."""
+        return self._space.get_flat()
 
     def select_clients(self, num_clients: int, fraction: float,
                        rng: np.random.Generator) -> list[int]:
@@ -33,9 +44,25 @@ class FederatedServer:
         picks = rng.choice(num_clients, size=min(count, num_clients), replace=False)
         return sorted(int(i) for i in picks)
 
+    def aggregate_flat(self, vectors: list[np.ndarray],
+                       weights: list[float] | None = None) -> np.ndarray:
+        """Average uploaded flat vectors into the global model."""
+        if not vectors:
+            raise ValueError("cannot aggregate zero states")
+        expected = self._space.total_size
+        for i, vec in enumerate(vectors):
+            if np.asarray(vec).shape != (expected,):
+                raise ValueError(
+                    f"client vector {i} has shape {np.asarray(vec).shape}, "
+                    f"expected ({expected},)"
+                )
+        new_flat = average_flat(np.stack(vectors), weights)
+        self._space.set_flat(new_flat)
+        return new_flat
+
     def aggregate(self, states: list[dict],
                   weights: list[float] | None = None) -> dict:
-        """Average uploaded parameters into the global model.
+        """Average uploaded state dicts into the global model (dict shim).
 
         The paper's Algorithm 3 uses the uniform mean; passing
         ``weights`` gives example-count-weighted FedAvg instead.

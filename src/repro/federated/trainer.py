@@ -201,27 +201,29 @@ class FederatedTrainer:
         selected = self.server.select_clients(
             len(self.clients), self.config.client_fraction, self._rng
         )
-        global_state = self.server.global_state()
-        uploaded: list[dict] = []
+        # The whole exchange moves flat (P,) vectors: broadcast, upload,
+        # privatisation, and the stacked (C, P) average.
+        global_flat = self.server.global_flat()
+        uploaded: list[np.ndarray] = []
         weights: list[float] = []
         losses: list[float] = []
         lambdas: list[float] = []
         for client_id in selected:
             client = self.clients[client_id]
-            client.receive_global(global_state)
-            state, metrics = client.local_train(
+            client.receive_global_flat(global_flat)
+            flat, metrics = client.local_train_flat(
                 epochs=self.config.local_epochs, distiller=distiller
             )
             if self.privatizer is not None:
-                state = self.privatizer.privatize_update(state, global_state)
-            uploaded.append(state)
+                flat = self.privatizer.privatize_update_flat(flat, global_flat)
+            uploaded.append(flat)
             weights.append(metrics["num_examples"])
             losses.append(metrics["loss"])
             lambdas.append(metrics["lambda"])
 
         agg_weights = weights if self.config.aggregation == "fedavg" else None
-        self.server.aggregate(uploaded, agg_weights)
-        ledger.record_round(round_index, global_state, uploaded)
+        self.server.aggregate_flat(uploaded, agg_weights)
+        ledger.record_round(round_index, global_flat, uploaded)
 
         accuracy = model_segment_accuracy(
             self.server.global_model, self.mask_builder, self.global_test

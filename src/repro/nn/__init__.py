@@ -4,25 +4,53 @@ This package replaces PyTorch for this reproduction: a tape-based
 autodiff :class:`~repro.nn.tensor.Tensor`, module/parameter containers
 with federated-friendly ``state_dict`` support, feed-forward and
 recurrent layers, attention (for the baselines), losses, and optimisers.
+
+Performance notes
+-----------------
+The hot paths are *fused*: recurrent layers run the whole ``(B, T)``
+scan forward in NumPy and register a single tape node with a
+hand-written BPTT backward (:mod:`repro.nn.recurrent`), dense layers use
+a fused ``addmm`` node, and the optimisers operate on one contiguous
+flat parameter vector (:mod:`repro.nn.flatten`) so an Adam step is a
+handful of vectorized ops rather than a per-tensor Python loop.  The
+original per-step tape path is retained behind
+:func:`~repro.nn.fusion.use_fused_kernels` purely as a reference for
+equivalence tests; both paths produce matching outputs and gradients
+(verified to atol 1e-10 and by finite differences).
 """
 
 from .attention import AdditiveAttention, SelfAttention, scaled_dot_product_attention
+from .flatten import FlatLayout, FlatParameterSpace
 from .flops import CostReport, count_parameters, estimate_flops, st_operator_complexity
 from .functional import (
+    addmm,
     concat,
     dropout,
     embedding_lookup,
+    gather_rows,
     log_softmax,
+    masked_log_softmax,
     pad_sequences,
     softmax,
     stack,
     where_mask,
 )
+from .fusion import fused_kernels_enabled, set_fused_kernels, use_fused_kernels
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Sigmoid, Tanh
 from .loss import cross_entropy, distillation_loss, l1_loss, mse_loss, nll_from_log_probs
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .recurrent import GRU, LSTM, GRUCell, LSTMCell, RNN, RNNCell
+from .recurrent import (
+    GRU,
+    LSTM,
+    GRUCell,
+    LSTMCell,
+    RNN,
+    RNNCell,
+    fused_gru_scan,
+    fused_lstm_scan,
+    fused_rnn_scan,
+)
 from .serialization import load_state_dict, save_state_dict, state_dict_num_bytes
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ones, randn, zeros
 
@@ -30,20 +58,25 @@ __all__ = [
     # tensor
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "zeros", "ones", "randn",
     # functional
-    "concat", "stack", "softmax", "log_softmax", "embedding_lookup", "dropout",
-    "where_mask", "pad_sequences",
+    "addmm", "concat", "stack", "softmax", "log_softmax", "masked_log_softmax",
+    "gather_rows", "embedding_lookup", "dropout", "where_mask", "pad_sequences",
     # module system
     "Module", "ModuleList", "Parameter", "Sequential",
     # layers
     "Linear", "Embedding", "Dropout", "ReLU", "Tanh", "Sigmoid", "LayerNorm", "MLP",
     # recurrent
     "RNN", "RNNCell", "GRU", "GRUCell", "LSTM", "LSTMCell",
+    "fused_rnn_scan", "fused_gru_scan", "fused_lstm_scan",
+    # fusion switch
+    "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
     # attention
     "AdditiveAttention", "SelfAttention", "scaled_dot_product_attention",
     # losses
     "cross_entropy", "nll_from_log_probs", "mse_loss", "l1_loss", "distillation_loss",
     # optim
     "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    # flat parameters
+    "FlatLayout", "FlatParameterSpace",
     # costs
     "CostReport", "count_parameters", "estimate_flops", "st_operator_complexity",
     # serialization

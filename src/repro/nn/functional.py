@@ -13,15 +13,52 @@ import numpy as np
 from .tensor import Tensor, _node, as_tensor
 
 __all__ = [
+    "addmm",
     "concat",
     "stack",
     "softmax",
     "log_softmax",
+    "masked_log_softmax",
+    "gather_rows",
     "embedding_lookup",
     "dropout",
     "where_mask",
     "pad_sequences",
 ]
+
+
+def addmm(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``x @ weight + bias`` recorded as a single tape node.
+
+    ``weight`` must be 2-D ``(K, N)`` and ``bias`` 1-D ``(N,)``; ``x``
+    may carry arbitrary leading batch dimensions ``(..., K)``.  Compared
+    with the composed ``x @ w + b`` this records one node instead of
+    two, which matters on hot paths that call Dense layers per element.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    a, w = x.data, weight.data
+    if w.ndim != 2:
+        raise ValueError(f"addmm weight must be 2-D, got shape {w.shape}")
+    # Flatten leading batch dims into one big GEMM: (B, T, K) @ (K, N)
+    # as (B*T, K) @ (K, N) beats NumPy's loop of B small matmuls.
+    lead = a.shape[:-1]
+    a2 = a.reshape(-1, w.shape[0]) if a.ndim != 2 else a
+    out = a2 @ w
+    if bias is not None:
+        bias = as_tensor(bias)
+        out += bias.data
+    out = out.reshape(*lead, w.shape[1])
+
+    def backward(grad, stage):
+        flat_grad = np.asarray(grad).reshape(-1, w.shape[1])
+        stage(x, (flat_grad @ w.T).reshape(a.shape))
+        stage(weight, a2.T @ flat_grad)
+        if bias is not None:
+            stage(bias, flat_grad.sum(axis=0))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return _node(out, parents, backward)
 
 
 def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
@@ -59,9 +96,9 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    out_data = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(out_data, out=out_data)
+    out_data /= out_data.sum(axis=axis, keepdims=True)
 
     def backward(grad, stage):
         grad = np.asarray(grad)
@@ -72,18 +109,75 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
+    """Numerically stable log-softmax along ``axis``.
+
+    ``exp`` over the full array is the dominant cost, so it runs once:
+    the exponentials are reused (normalised in place) as the softmax
+    the backward pass needs.
+    """
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - logsumexp
-    soft = np.exp(out_data)
+    soft = np.exp(shifted)
+    sumexp = soft.sum(axis=axis, keepdims=True)
+    out_data = shifted
+    out_data -= np.log(sumexp)
+    soft /= sumexp
 
     def backward(grad, stage):
         grad = np.asarray(grad)
         stage(x, grad - soft * grad.sum(axis=axis, keepdims=True))
 
     return _node(out_data, (x,), backward)
+
+
+def masked_log_softmax(x: Tensor, log_mask: np.ndarray, axis: int = -1) -> Tensor:
+    """``log_softmax(x + log_mask)`` as one tape node (paper Eq. 11).
+
+    ``log_mask`` is a constant additive bias (the constraint-mask log
+    weights), so folding it into the log-softmax skips one add node and
+    its dense backward pass on the hot decode path.
+    """
+    x = as_tensor(x)
+    shifted = x.data + log_mask
+    shifted -= shifted.max(axis=axis, keepdims=True)
+    soft = np.exp(shifted)
+    sumexp = soft.sum(axis=axis, keepdims=True)
+    out_data = shifted
+    out_data -= np.log(sumexp)
+    soft /= sumexp
+
+    def backward(grad, stage):
+        grad = np.asarray(grad)
+        dx = soft * grad.sum(axis=axis, keepdims=True)
+        np.subtract(grad, dx, out=dx)
+        stage(x, dx)
+
+    return _node(out_data, (x,), backward)
+
+
+def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Pick one entry per row: ``x[arange(N), indices]`` as one node.
+
+    Because every picked position is distinct (one per row), the
+    backward scatter is a direct fancy-index assignment rather than the
+    much slower ``np.add.at`` accumulation the generic ``__getitem__``
+    needs.
+    """
+    x = as_tensor(x)
+    if x.ndim != 2:
+        raise ValueError(f"gather_rows expects (N, C) input, got {x.shape}")
+    n = x.shape[0]
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.shape != (n,):
+        raise ValueError(f"indices shape {indices.shape} does not match rows {n}")
+    rows = np.arange(n)
+
+    def backward(grad, stage):
+        full = np.zeros_like(x.data)
+        full[rows, indices] = grad
+        stage(x, full)
+
+    return _node(x.data[rows, indices], (x,), backward)
 
 
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:

@@ -1,0 +1,44 @@
+"""Global switch between fused sequence kernels and the per-step tape.
+
+The fused kernels (whole-sequence RNN/GRU/LSTM scans with hand-written
+BPTT, and the batched teacher-forced ST-operator decode) are the default
+hot path.  The original per-step tape path is kept for equivalence
+testing and as a reference implementation; disable fusion to use it:
+
+    with nn.use_fused_kernels(False):
+        output = model(batch, log_mask)
+
+Both paths are verified to produce matching outputs and gradients in
+``tests/nn/test_fused_recurrent.py`` and ``tests/core/test_fused_decode.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+__all__ = ["fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels"]
+
+_FUSED_ENABLED = True
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether sequence layers should take the fused kernel path."""
+    return _FUSED_ENABLED
+
+
+def set_fused_kernels(enabled: bool) -> bool:
+    """Set the global fusion flag; returns the previous value."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_fused_kernels(enabled: bool):
+    """Context manager scoping the fusion flag (like ``no_grad``)."""
+    previous = set_fused_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_fused_kernels(previous)

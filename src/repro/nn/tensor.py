@@ -36,6 +36,9 @@ __all__ = [
     "zeros",
     "ones",
     "randn",
+    "sigmoid_forward",
+    "sigmoid_backward",
+    "tanh_backward",
 ]
 
 _GRAD_ENABLED = True
@@ -56,6 +59,32 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether operations are currently being recorded on the tape."""
     return _GRAD_ENABLED
+
+
+def sigmoid_forward(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Clipped logistic sigmoid on a raw array (shared by ops and kernels).
+
+    Spelled as chained in-place ufuncs (at most one temporary) rather
+    than ``1/(1+exp(-clip(x)))``, which allocates five temporaries and
+    pays ``np.clip``'s dispatch overhead on every call.  ``out`` may
+    alias ``x`` for a fully in-place evaluation.
+    """
+    z = np.maximum(x, -500.0, out=out)
+    np.minimum(z, 500.0, out=z)
+    np.negative(z, out=z)
+    np.exp(z, out=z)
+    z += 1.0
+    return np.reciprocal(z, out=z)
+
+
+def sigmoid_backward(grad: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gradient of sigmoid expressed through its output ``out``."""
+    return grad * out * (1.0 - out)
+
+
+def tanh_backward(grad: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gradient of tanh expressed through its output ``out``."""
+    return grad * (1.0 - out * out)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -316,15 +345,15 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(grad, stage):
-            stage(self, grad * (1.0 - out_data**2))
+            stage(self, tanh_backward(grad, out_data))
 
         return _node(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+        out_data = sigmoid_forward(self.data)
 
         def backward(grad, stage):
-            stage(self, grad * out_data * (1.0 - out_data))
+            stage(self, sigmoid_backward(grad, out_data))
 
         return _node(out_data, (self,), backward)
 

@@ -1,0 +1,139 @@
+"""Flat-vector federated exchange: aggregation, server, client, privacy."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core import RecoveryModelConfig
+from repro.core.lte import LTEModel
+from repro.federated import (
+    CommunicationLedger,
+    FederatedServer,
+    GaussianMechanism,
+    average_flat,
+    average_states,
+    payload_num_bytes,
+)
+
+
+def state(value):
+    return OrderedDict([("w", np.full((2, 2), float(value))),
+                        ("b", np.full((3,), float(value)))])
+
+
+class TestAverageFlat:
+    def test_uniform_mean(self):
+        stacked = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(average_flat(stacked), [2.0, 3.0])
+
+    def test_weighted(self):
+        stacked = np.array([[0.0, 0.0], [4.0, 8.0]])
+        np.testing.assert_allclose(average_flat(stacked, [3.0, 1.0]),
+                                   [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_flat(np.empty((0, 5)))
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            average_flat(np.ones((1, 3)), weights=[0.0])
+
+    def test_matches_dict_shim(self):
+        states = [state(1.0), state(2.0), state(5.0)]
+        weights = [1.0, 2.0, 3.0]
+        via_dict = average_states(states, weights)
+        layout_keys = list(via_dict)
+        stacked = np.stack([
+            np.concatenate([np.asarray(s[k]).ravel() for k in layout_keys])
+            for s in states
+        ])
+        flat = average_flat(stacked, weights)
+        flat_dict_w = flat[:4].reshape(2, 2)
+        np.testing.assert_allclose(via_dict["w"], flat_dict_w, atol=1e-12)
+
+
+class TestPayloadBytes:
+    def test_flat_vector_and_dict_cost_the_same(self):
+        s = state(1.0)
+        flat = np.concatenate([np.asarray(v).ravel() for v in s.values()])
+        assert payload_num_bytes(s) == payload_num_bytes(flat) == 7 * 8
+
+    def test_ledger_accepts_flat_vectors(self):
+        ledger = CommunicationLedger()
+        vec = np.zeros(10)
+        cost = ledger.record_round(0, vec, [vec, vec])
+        assert cost.bytes_down == 2 * 80
+        assert cost.bytes_up == 2 * 80
+
+
+@pytest.fixture(scope="module")
+def tiny_model_pair(tiny_config):
+    return (LTEModel(tiny_config, np.random.default_rng(1)),
+            LTEModel(tiny_config, np.random.default_rng(2)))
+
+
+class TestServerFlat:
+    def test_flat_aggregation_matches_dict_aggregation(self, tiny_model_pair,
+                                                       tiny_config):
+        model_a, model_b = tiny_model_pair
+        server_flat = FederatedServer(LTEModel(tiny_config,
+                                               np.random.default_rng(3)))
+        server_dict = FederatedServer(LTEModel(tiny_config,
+                                               np.random.default_rng(3)))
+        states = [model_a.state_dict(), model_b.state_dict()]
+        vectors = [server_flat._space.state_to_flat(s) for s in states]
+        server_flat.aggregate_flat(vectors)
+        server_dict.aggregate(states)
+        flat_state = server_flat.global_state()
+        dict_state = server_dict.global_state()
+        for key in dict_state:
+            np.testing.assert_allclose(flat_state[key], dict_state[key],
+                                       atol=1e-12, err_msg=key)
+
+    def test_flat_roundtrip_through_global(self, tiny_config):
+        server = FederatedServer(LTEModel(tiny_config, np.random.default_rng(4)))
+        vec = server.global_flat()
+        server.aggregate_flat([vec * 2.0])
+        np.testing.assert_allclose(server.global_flat(), vec * 2.0)
+
+    def test_wrong_size_vector_raises(self, tiny_config):
+        server = FederatedServer(LTEModel(tiny_config, np.random.default_rng(5)))
+        with pytest.raises(ValueError):
+            server.aggregate_flat([np.zeros(3)])
+        with pytest.raises(ValueError):
+            server.aggregate_flat([])
+
+
+class TestPrivacyFlat:
+    def test_flat_matches_dict_mechanism_when_noiseless(self, tiny_model_pair):
+        model_a, model_b = tiny_model_pair
+        local, global_ = model_a.state_dict(), model_b.state_dict()
+        mech = GaussianMechanism(clip_norm=0.5, noise_multiplier=0.0,
+                                 rng=np.random.default_rng(0))
+        via_dict = mech.privatize_update(local, global_)
+        keys = list(local)
+        flat_local = np.concatenate([np.asarray(local[k]).ravel() for k in keys])
+        flat_global = np.concatenate([np.asarray(global_[k]).ravel()
+                                      for k in keys])
+        via_flat = mech.privatize_update_flat(flat_local, flat_global)
+        flat_from_dict = np.concatenate([np.asarray(via_dict[k]).ravel()
+                                         for k in keys])
+        np.testing.assert_allclose(via_flat, flat_from_dict, atol=1e-10)
+
+    def test_flat_clips_update_norm(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0,
+                                 rng=np.random.default_rng(0))
+        global_vec = np.zeros(4)
+        local_vec = np.full(4, 10.0)
+        private = mech.privatize_update_flat(local_vec, global_vec)
+        assert np.linalg.norm(private - global_vec) <= 1.0 + 1e-9
+
+    def test_size_mismatch_raises(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0,
+                                 rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            mech.privatize_update_flat(np.zeros(3), np.zeros(4))

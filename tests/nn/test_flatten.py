@@ -1,0 +1,157 @@
+"""Flat-parameter space and flat-buffer optimiser equivalence tests."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.flatten import FlatLayout, FlatParameterSpace
+from repro.nn.module import Parameter
+
+
+def small_model(rng):
+    return nn.MLP([3, 8, 2], rng)
+
+
+class TestFlatLayout:
+    def test_roundtrip(self, fresh_rng):
+        state = OrderedDict([("a", fresh_rng.standard_normal((2, 3))),
+                             ("b", fresh_rng.standard_normal(4))])
+        layout = FlatLayout.from_state(state)
+        assert layout.total_size == 10
+        vec = layout.flatten_state(state)
+        back = layout.unflatten(vec)
+        assert list(back) == ["a", "b"]
+        for key in state:
+            np.testing.assert_array_equal(back[key], state[key])
+
+    def test_missing_key_raises(self):
+        layout = FlatLayout(["a"], [(2,)])
+        with pytest.raises(KeyError):
+            layout.flatten_state({"b": np.zeros(2)})
+
+    def test_shape_mismatch_raises(self):
+        layout = FlatLayout(["a"], [(2,)])
+        with pytest.raises(ValueError):
+            layout.flatten_state({"a": np.zeros(3)})
+
+    def test_wrong_vector_size_raises(self):
+        layout = FlatLayout(["a"], [(2,)])
+        with pytest.raises(ValueError):
+            layout.unflatten(np.zeros(5))
+
+
+class TestFlatParameterSpace:
+    def test_gather_scatter_roundtrip(self, fresh_rng):
+        model = small_model(fresh_rng)
+        space = FlatParameterSpace.from_module(model)
+        vec = space.get_flat()
+        assert vec.size == model.num_parameters()
+        vec2 = 2.0 * vec
+        space.set_flat(vec2)
+        np.testing.assert_allclose(space.get_flat(), vec2)
+        # scatter writes in place: the parameter objects are unchanged
+        for p in model.parameters():
+            assert p.data.flags.owndata or True  # still valid arrays
+
+    def test_state_dict_bridge_matches_module(self, fresh_rng):
+        model = small_model(fresh_rng)
+        space = FlatParameterSpace.from_module(model)
+        state = model.state_dict()
+        vec = space.state_to_flat(state)
+        np.testing.assert_allclose(vec, space.get_flat())
+        back = space.flat_to_state(vec)
+        assert list(back) == list(state)
+
+    def test_grad_gather_zeros_missing(self, fresh_rng):
+        p1 = Parameter(np.ones(2))
+        p2 = Parameter(np.ones(3))
+        p1.grad = np.array([1.0, 2.0])
+        space = FlatParameterSpace([p1, p2])
+        vec = space.get_flat_grad()
+        np.testing.assert_allclose(vec, [1.0, 2.0, 0.0, 0.0, 0.0])
+        assert not space.all_grads_present()
+
+
+def reference_adam_step(params, ms, vs, t, lr=1e-3, b1=0.9, b2=0.999, eps=1e-8):
+    """The seed tree's per-parameter Adam loop, for equivalence checks."""
+    bias1 = 1.0 - b1**t
+    bias2 = 1.0 - b2**t
+    for p, m, v in zip(params, ms, vs):
+        if p.grad is None:
+            continue
+        g = p.grad
+        m *= b1
+        m += (1.0 - b1) * g
+        v *= b2
+        v += (1.0 - b2) * g * g
+        p.data = p.data - lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+
+
+class TestFlatAdamEquivalence:
+    def test_matches_reference_loop(self, fresh_rng):
+        model_a = small_model(np.random.default_rng(3))
+        model_b = small_model(np.random.default_rng(3))
+        opt = nn.Adam(model_a.parameters(), lr=1e-3)
+        ms = [np.zeros_like(p.data) for p in model_b.parameters()]
+        vs = [np.zeros_like(p.data) for p in model_b.parameters()]
+        x = fresh_rng.standard_normal((16, 3))
+        y = fresh_rng.standard_normal((16, 2))
+        for t in range(1, 6):
+            for model in (model_a, model_b):
+                model.zero_grad()
+                loss = nn.mse_loss(model(nn.Tensor(x)), y)
+                loss.backward()
+            opt.step()
+            reference_adam_step(model_b.parameters(), ms, vs, t)
+            for pa, pb in zip(model_a.parameters(), model_b.parameters()):
+                np.testing.assert_allclose(pa.data, pb.data, atol=1e-10)
+
+    def test_skips_parameters_without_grad(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        opt = nn.Adam([p1, p2], lr=0.1)
+        p1.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p2.data, [2.0])
+        assert p1.data[0] != 1.0
+
+    def test_fast_and_slow_paths_share_state(self):
+        """A step with a missing grad (slow path) then a full step (fast
+        path) must see consistent m/v state."""
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        opt = nn.Adam([p1, p2], lr=0.1)
+        p1.grad = np.array([0.5])
+        opt.step()  # slow path: p2 skipped
+        p1.grad = np.array([0.5])
+        p2.grad = np.array([0.25])
+        opt.step()  # fast path
+        assert opt._m_flat[0] != 0.0 and opt._m_flat[1] != 0.0
+
+
+class TestFlatSGD:
+    def test_matches_manual_momentum(self, fresh_rng):
+        p = Parameter(np.array([1.0, -2.0]))
+        opt = nn.SGD([p], lr=0.1, momentum=0.9)
+        v = np.zeros(2)
+        manual = np.array([1.0, -2.0])
+        for _ in range(4):
+            p.grad = np.array([0.3, -0.1])
+            opt.step()
+            v = 0.9 * v + np.array([0.3, -0.1])
+            manual = manual - 0.1 * v
+            np.testing.assert_allclose(p.data, manual, atol=1e-12)
+
+
+class TestClipInPlace:
+    def test_scaling_is_in_place(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        grad_before = p.grad
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert p.grad is grad_before  # no fresh allocation
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-9)
