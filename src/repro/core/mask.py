@@ -73,6 +73,41 @@ class ConstraintMaskBuilder:
         self._enc_sorted = np.empty(0, dtype=np.int64)
         self._enc_rows = np.empty(0, dtype=np.int64)
 
+    def __getstate__(self) -> dict:
+        """Pickle only the defining knobs, never the memoised rows.
+
+        Worker processes of the parallel round runner rebuild the
+        segment index and start with empty caches: reconstruction is
+        cheap, the rows are deterministic functions of the network, and
+        the caches can be orders of magnitude larger than the builder.
+        """
+        return {"network": self.network, "gamma": self.gamma,
+                "radius": self.radius, "identity": self.identity}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["network"], gamma=state["gamma"],
+                      radius=state["radius"], identity=state["identity"])
+
+    def warm(self, dataset) -> int:
+        """Precompute mask rows for every guide point of ``dataset``.
+
+        Fills the quantised-key cache directly from the examples' guide
+        positions — peak memory is the ``(U, S)`` row matrix, never a
+        dense ``(B, T, S)`` batch mask — so later epoch loops (or a
+        freshly forked worker) run pure searchsorted+gather.  Returns
+        the number of cached rows.
+        """
+        if self.identity or len(dataset) == 0:
+            return 0
+        keys: set[tuple[int, int]] = set()
+        for example in dataset.examples:
+            quantised = np.floor_divide(example.guide_xy, _QUANT).astype(np.int64)
+            keys.update(zip(quantised[:, 0].tolist(), quantised[:, 1].tolist()))
+        for key in sorted(keys):
+            self._row_index_for_key(key)
+        self._refresh_sorted_index()
+        return len(self._key_to_row)
+
     def log_mask_for_point(self, x: float, y: float) -> np.ndarray:
         """Log mask weights ``log c`` over all segments for one guide point.
 

@@ -10,7 +10,8 @@ restrict the candidate road segments (paper Eq. 10-11).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -112,8 +113,24 @@ def _interpolate_guides(obs_idx: np.ndarray, obs_xy: np.ndarray, n_full: int) ->
     return np.stack([gx, gy], axis=1)
 
 
+#: Upper bound on memoised collated batches per dataset.  Shuffled epoch
+#: loops produce fresh chunk keys every pass, so without a cap the cache
+#: would grow by one entry per batch forever; LRU eviction keeps the
+#: recurring keys (full-batch evaluation, unshuffled iteration) resident.
+_BATCH_CACHE_CAP = 128
+
+
 class TrajectoryDataset:
-    """A list of encoded recovery examples plus the world they live in."""
+    """A list of encoded recovery examples plus the world they live in.
+
+    Collated batches are memoised per chunk key (the exact example-index
+    tuple): evaluation's :meth:`full_batch` and deterministic
+    :meth:`batches` iteration re-pad once instead of every epoch.  The
+    cached arrays are returned read-only because callers share them;
+    ``copy.deepcopy`` a batch before mutating it.  A new dataset (e.g.
+    from :meth:`split`) starts with an empty cache; call
+    :meth:`clear_batch_cache` after mutating ``examples`` in place.
+    """
 
     def __init__(self, examples: list[RecoveryExample], grid: Grid,
                  network: RoadNetwork, keep_ratio: float):
@@ -125,6 +142,8 @@ class TrajectoryDataset:
         # re-collate the same examples every pass (only batch composition
         # changes with the shuffle).
         self._obs_feat_cache: dict[int, np.ndarray] = {}
+        # Collated-Batch memo, LRU-bounded, keyed by example-index tuple.
+        self._batch_cache: "OrderedDict[tuple[int, ...], Batch]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self.examples)
@@ -181,14 +200,36 @@ class TrajectoryDataset:
         if rng is not None:
             order = rng.permutation(order)
         for start in range(0, len(order), batch_size):
-            chunk = [self.examples[i] for i in order[start : start + batch_size]]
-            yield self._collate(chunk)
+            yield self._collate_cached(
+                tuple(int(i) for i in order[start : start + batch_size])
+            )
 
     def full_batch(self) -> Batch:
-        """The whole dataset as one batch (used for evaluation)."""
+        """The whole dataset as one batch (used for evaluation).
+
+        Cached: every round's evaluation pass reuses one padded batch.
+        """
         if not self.examples:
             raise ValueError("dataset is empty")
-        return self._collate(self.examples)
+        return self._collate_cached(tuple(range(len(self.examples))))
+
+    def clear_batch_cache(self) -> None:
+        """Drop memoised collated batches (after mutating ``examples``)."""
+        self._batch_cache.clear()
+
+    def _collate_cached(self, key: tuple[int, ...]) -> Batch:
+        """Collate the examples at ``key``, memoising per index tuple."""
+        batch = self._batch_cache.get(key)
+        if batch is not None:
+            self._batch_cache.move_to_end(key)
+            return batch
+        batch = self._collate([self.examples[i] for i in key])
+        for spec in fields(Batch):  # shared across callers: freeze
+            getattr(batch, spec.name).flags.writeable = False
+        self._batch_cache[key] = batch
+        while len(self._batch_cache) > _BATCH_CACHE_CAP:
+            self._batch_cache.popitem(last=False)
+        return batch
 
     def _collate(self, chunk: list[RecoveryExample]) -> Batch:
         b = len(chunk)

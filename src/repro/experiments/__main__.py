@@ -12,6 +12,7 @@ Each experiment prints the same rows/series its benchmark publishes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .harness import (
@@ -96,9 +97,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     parser.add_argument("--datasets", nargs="+", default=["geolife", "tdrive"],
                         choices=["geolife", "tdrive"])
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run each federated round's clients in N worker "
+                             "processes (results are identical; default: the "
+                             "scale's setting, 0 = serial)")
     args = parser.parse_args(argv)
 
-    context = ExperimentContext(SCALES[args.scale])
+    scale = SCALES[args.scale]
+    if args.workers is not None:
+        scale = dataclasses.replace(scale, workers=args.workers)
+    context = ExperimentContext(scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         print(_dispatch(name, context, tuple(args.datasets)))

@@ -58,6 +58,7 @@ class ExperimentScale:
     lr: float = 3e-3
     mask_radius: float = 500.0
     seed: int = 7
+    workers: int = 0  # > 0: process-pool round runner (identical results)
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -170,7 +171,8 @@ class ExperimentContext:
     def federated_config(self, use_meta: bool, client_fraction: float = 1.0,
                          lambda0: float = 5.0, lt: float = 0.4,
                          rounds: int | None = None,
-                         dynamic_lambda: bool = True) -> FederatedConfig:
+                         dynamic_lambda: bool = True,
+                         workers: int | None = None) -> FederatedConfig:
         return FederatedConfig(
             rounds=rounds if rounds is not None else self.scale.rounds,
             client_fraction=client_fraction,
@@ -180,6 +182,7 @@ class ExperimentContext:
             lambda0=lambda0,
             lt=lt,
             dynamic_lambda=dynamic_lambda,
+            workers=self.scale.workers if workers is None else workers,
         )
 
     # ------------------------------------------------------------------
@@ -190,8 +193,14 @@ class ExperimentContext:
                    use_meta: bool | None = None, lambda0: float = 5.0,
                    lt: float = 0.4, rounds: int | None = None,
                    isolated: bool = False, mask_identity: bool = False,
-                   dynamic_lambda: bool = True) -> MethodRun:
-        """Train ``method`` federated and evaluate on the pooled test set."""
+                   dynamic_lambda: bool = True,
+                   workers: int | None = None) -> MethodRun:
+        """Train ``method`` federated and evaluate on the pooled test set.
+
+        ``workers`` (default: the scale's setting) runs each round's
+        selected clients in that many worker processes; results are
+        bit-identical to the serial run, only wall-clock changes.
+        """
         clients, global_test = self.federation(dataset_name, keep_ratio, num_clients)
         config = self.model_config(dataset_name)
         mask = self.mask_builder(dataset_name, identity=mask_identity)
@@ -201,7 +210,8 @@ class ExperimentContext:
         fed_config = self.federated_config(use_meta=meta,
                                            client_fraction=client_fraction,
                                            lambda0=lambda0, lt=lt, rounds=rounds,
-                                           dynamic_lambda=dynamic_lambda)
+                                           dynamic_lambda=dynamic_lambda,
+                                           workers=workers)
         start = time.perf_counter()
         if isolated:
             result: FederatedResult = train_isolated_then_average(

@@ -1,9 +1,18 @@
 """``repro.federated`` - client/server FedAvg orchestration for LightTR."""
 
 from .aggregation import average_flat, average_states, fedavg
-from .client import ClientData, FederatedClient
+from .client import ClientData, ClientSessionState, FederatedClient
 from .communication import CommunicationLedger, RoundCost, payload_num_bytes
 from .privacy import GaussianMechanism
+from .runner import (
+    ProcessPoolRunner,
+    RoundExecutionError,
+    RoundResult,
+    RoundRunner,
+    RoundTask,
+    SerialRunner,
+    WorkerSetup,
+)
 from .server import FederatedServer
 from .trainer import (
     FederatedConfig,
@@ -16,9 +25,11 @@ from .trainer import (
 
 __all__ = [
     "average_flat", "average_states", "fedavg",
-    "ClientData", "FederatedClient",
+    "ClientData", "ClientSessionState", "FederatedClient",
     "CommunicationLedger", "RoundCost", "payload_num_bytes",
     "GaussianMechanism",
+    "RoundRunner", "SerialRunner", "ProcessPoolRunner",
+    "RoundTask", "RoundResult", "RoundExecutionError", "WorkerSetup",
     "FederatedServer",
     "FederatedConfig", "FederatedTrainer", "FederatedResult", "RoundRecord",
     "build_federation", "train_isolated_then_average",

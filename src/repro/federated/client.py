@@ -21,7 +21,7 @@ from ..core.training import LocalTrainer, TrainingConfig
 from ..data.dataset import TrajectoryDataset
 from ..nn.flatten import FlatParameterSpace
 
-__all__ = ["ClientData", "FederatedClient"]
+__all__ = ["ClientData", "ClientSessionState", "FederatedClient"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,25 @@ class ClientData:
     @property
     def num_train(self) -> int:
         return len(self.train)
+
+
+@dataclass(frozen=True)
+class ClientSessionState:
+    """The round-to-round mutable training state of one client.
+
+    Everything a worker process needs (beyond the broadcast parameters)
+    to continue this client's local optimisation exactly where the
+    previous round left off: the batch-shuffling generator state, the
+    optimiser's flat moment buffers, and the state of every stochastic
+    forward-pass generator inside the model (dropout).  Shipping this
+    with each round task makes results independent of *which* worker
+    executes the client, so serial and process-pool rounds are
+    bit-identical.
+    """
+
+    rng_state: dict
+    optimizer_state: dict
+    model_rng_states: tuple[dict, ...] = ()
 
 
 class FederatedClient:
@@ -90,6 +109,62 @@ class FederatedClient:
         """Like :meth:`local_train` but uploads one flat ``(P,)`` vector."""
         metrics = self._train_locally(epochs, distiller)
         return self._space.get_flat(), metrics
+
+    def flat_parameters(self, dtype=None) -> np.ndarray:
+        """The current local parameters as one flat vector (exchange
+        dtype by default; pass ``dtype=np.float64`` for an exact copy)."""
+        return self._space.get_flat(dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # session state (parallel round runners)
+    # ------------------------------------------------------------------
+    def _model_generators(self) -> list[np.random.Generator]:
+        """Distinct forward-pass generators inside the model (dropout),
+        in module traversal order.  Layers typically share the single
+        construction generator; deduplicate by object identity so a
+        shared stream is snapshotted/restored exactly once."""
+        generators: list[np.random.Generator] = []
+        seen: set[int] = set()
+        for module in self.model.modules():
+            rng = getattr(module, "_rng", None)
+            if isinstance(rng, np.random.Generator) and id(rng) not in seen:
+                seen.add(id(rng))
+                generators.append(rng)
+        return generators
+
+    def session_state(self) -> ClientSessionState:
+        """Snapshot the mutable local-training state (copies)."""
+        return ClientSessionState(
+            rng_state=self.trainer.rng.bit_generator.state,
+            optimizer_state=self.trainer.optimizer.state_flat(),
+            model_rng_states=tuple(g.bit_generator.state
+                                   for g in self._model_generators()),
+        )
+
+    def load_session_state(self, state: ClientSessionState) -> None:
+        """Restore a :meth:`session_state` snapshot exactly."""
+        self.trainer.rng.bit_generator.state = state.rng_state
+        self.trainer.optimizer.load_state_flat(state.optimizer_state)
+        generators = self._model_generators()
+        if len(generators) != len(state.model_rng_states):
+            raise ValueError(
+                f"session snapshot has {len(state.model_rng_states)} model "
+                f"generator states, model exposes {len(generators)}"
+            )
+        for generator, rng_state in zip(generators, state.model_rng_states):
+            generator.bit_generator.state = rng_state
+
+    def apply_round_result(self, upload_flat: np.ndarray,
+                           session: ClientSessionState,
+                           params_flat: np.ndarray | None = None) -> None:
+        """Adopt a round executed elsewhere (a worker process): the
+        trained parameters become the local model state and the returned
+        session snapshot replaces the local one.  ``params_flat`` is the
+        exact float64 parameter snapshot when the exchange dtype is
+        reduced (the upload alone would lose the sub-float32 bits a
+        serial client keeps)."""
+        self._space.set_flat(upload_flat if params_flat is None else params_flat)
+        self.load_session_state(session)
 
     def validation_accuracy(self) -> float:
         """Segment accuracy on the client's validation split."""

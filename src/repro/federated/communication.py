@@ -20,9 +20,12 @@ __all__ = ["RoundCost", "CommunicationLedger", "payload_num_bytes"]
 def payload_num_bytes(payload) -> int:
     """Wire size of one model payload: a flat vector or a state dict.
 
-    Flat vectors and state dicts of the same model cost the same bytes
-    (the float64 parameter payload); the flat path just computes it
-    without iterating keys.
+    Flat vectors and state dicts of the same model and dtype cost the
+    same bytes; the flat path just computes it without iterating keys.
+    Because this meters ``nbytes``, dropping the exchange dtype to
+    float32 (:func:`repro.nn.set_default_dtype`) halves the recorded
+    traffic — both federated paths (rounds and the isolated "w/o FL"
+    ablation) account flat vectors, so their numbers stay comparable.
     """
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)

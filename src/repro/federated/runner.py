@@ -1,0 +1,321 @@
+"""Pluggable round execution backends for :class:`FederatedTrainer`.
+
+The paper's Algorithm 3 is embarrassingly parallel across the clients
+selected in a round: each client downloads the same flat global vector,
+trains locally on private data, and uploads a flat vector.  This module
+factors the *execution* of one round out of the trainer into a
+:class:`RoundRunner` with two backends:
+
+:class:`SerialRunner`
+    Runs the selected clients in-process against the trainer's live
+    :class:`~repro.federated.client.FederatedClient` objects — exactly
+    the original sequential behaviour, and the default.
+
+:class:`ProcessPoolRunner`
+    Ships each selected client a picklable :class:`RoundTask` — the
+    flat global ``(P,)`` vector, the client id, the epoch count, the
+    frozen teacher's flat state, and the client's
+    :class:`~repro.federated.client.ClientSessionState` (RNG +
+    optimiser moments) — to a persistent pool of worker processes.
+    Each worker rebuilds the model, constraint-mask builder, and client
+    datasets **once** (from the :class:`WorkerSetup` passed to the pool
+    initializer) and reuses them across every round.
+
+Determinism guarantee
+---------------------
+With fixed seeds, serial and process-pool runs produce **bit-identical**
+round histories and final global parameters:
+
+* every task carries the client's full mutable state (RNG bit-generator
+  state, flat Adam/SGD moments), so results do not depend on which
+  worker executes which client, or on pool scheduling;
+* tasks also re-assert the process-global kernel-fusion flag and
+  exchange dtype inside the worker, so both sides run the same kernels
+  at the same precision;
+* the trainer submits tasks in ascending client-id order and the
+  runners return results in task order, so aggregation order never
+  depends on completion order.
+
+Failure handling: a dead worker, unpicklable payload, or task timeout
+raises :class:`RoundExecutionError`; the trainer catches it, warns, and
+re-executes the round with a :class:`SerialRunner` — the session
+snapshots inside the tasks restore the exact pre-round state, so the
+run continues deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..core.base import RecoveryModel
+from ..core.distill import MetaKnowledgeDistiller
+from ..core.mask import ConstraintMaskBuilder
+from ..core.training import TrainingConfig
+from ..nn.flatten import FlatParameterSpace
+from .client import ClientData, ClientSessionState, FederatedClient
+
+__all__ = [
+    "RoundTask", "RoundResult", "RoundExecutionError", "WorkerSetup",
+    "RoundRunner", "SerialRunner", "ProcessPoolRunner", "preferred_start_method",
+]
+
+
+class RoundExecutionError(RuntimeError):
+    """A parallel round could not be executed (worker crash, pickling
+    failure, or timeout).  The trainer falls back to serial execution."""
+
+
+def preferred_start_method() -> str | None:
+    """The multiprocessing start method the pool runner uses by default.
+
+    ``fork`` when the platform offers it: workers inherit the parent's
+    world (datasets, road network, model factory closures) without any
+    pickling, so pool start-up is milliseconds.  Otherwise the platform
+    default, which requires every :class:`WorkerSetup` field to pickle.
+    """
+    return "fork" if "fork" in mp.get_all_start_methods() else None
+
+
+# ----------------------------------------------------------------------
+# wire types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerSetup:
+    """Everything a worker rebuilds once and reuses across rounds."""
+
+    model_factory: Callable[[], RecoveryModel]
+    client_data: tuple[ClientData, ...]
+    mask_builder: ConstraintMaskBuilder
+    training: TrainingConfig
+    lambda0: float = 5.0
+    lt: float = 0.4
+    dynamic_lambda: bool = True
+
+
+@dataclass(frozen=True)
+class RoundTask:
+    """One selected client's work for one communication round."""
+
+    client_id: int
+    global_flat: np.ndarray
+    epochs: int
+    teacher_flat: np.ndarray | None  # float64; None = no distillation
+    session: ClientSessionState | None  # None = run on live client state
+    fused_kernels: bool = True
+    exchange_dtype: str = "float64"
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """What one client's local round produced."""
+
+    client_id: int
+    upload_flat: np.ndarray  # raw upload (privatisation happens server-side)
+    metrics: dict
+    session: ClientSessionState | None  # None when the live client ran in-process
+    params_flat: np.ndarray | None = None  # exact float64 params when the
+    # exchange dtype is reduced (sync-back must not round the live client)
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class RoundRunner:
+    """Executes the selected clients of one round.
+
+    ``ships_state`` tells the trainer whether tasks must carry session
+    snapshots (and results must be synced back into the live clients);
+    ``fallible`` marks backends whose failures should trigger the
+    serial fallback instead of propagating.
+    """
+
+    ships_state = False
+    fallible = False
+
+    def run_round(self, tasks: Sequence[RoundTask],
+                  distiller: MetaKnowledgeDistiller | None = None
+                  ) -> list[RoundResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+
+class SerialRunner(RoundRunner):
+    """In-process execution against the trainer's live clients."""
+
+    def __init__(self, clients: Sequence[FederatedClient]):
+        self.clients = clients
+
+    def run_round(self, tasks: Sequence[RoundTask],
+                  distiller: MetaKnowledgeDistiller | None = None
+                  ) -> list[RoundResult]:
+        results = []
+        for task in tasks:
+            client = self.clients[task.client_id]
+            if task.session is not None:
+                # Fallback path: restore the pre-round snapshot so a
+                # round that failed mid-flight on a pool re-runs from
+                # the exact same state.
+                client.load_session_state(task.session)
+            client.receive_global_flat(task.global_flat)
+            flat, metrics = client.local_train_flat(task.epochs, distiller)
+            results.append(RoundResult(task.client_id, flat, metrics, None))
+        return results
+
+
+# --- worker-process side of the pool backend ---------------------------
+# One module-global per worker process, installed by the pool
+# initializer: the world is rebuilt once and reused for every task.
+_WORKER: "_WorkerState | None" = None
+
+
+def _init_worker(setup: WorkerSetup) -> None:
+    global _WORKER
+    _WORKER = _WorkerState(setup)
+
+
+def _execute_task(task: RoundTask) -> RoundResult:
+    assert _WORKER is not None, "worker pool used before initialization"
+    return _WORKER.execute(task)
+
+
+class _WorkerState:
+    """Per-worker-process world: one model (+ one teacher), the mask
+    builder, and per-client executors, built lazily and reused."""
+
+    def __init__(self, setup: WorkerSetup):
+        self.setup = setup
+        self.model = setup.model_factory()
+        self.mask_builder = setup.mask_builder
+        self.clients: dict[int, FederatedClient] = {}
+        self.teacher: RecoveryModel | None = None
+        self.teacher_space: FlatParameterSpace | None = None
+
+    def _client(self, client_id: int) -> FederatedClient:
+        client = self.clients.get(client_id)
+        if client is None:
+            data = self.setup.client_data[client_id]
+            # All of this worker's clients share the single model: each
+            # task overwrites parameters (global broadcast) and
+            # optimiser/RNG state (session snapshot) anyway.
+            client = FederatedClient(
+                client_id=client_id, data=data, model=self.model,
+                mask_builder=self.mask_builder, training=self.setup.training,
+                rng=np.random.default_rng(0),  # replaced by the session state
+            )
+            self.mask_builder.warm(data.train)
+            self.clients[client_id] = client
+        return client
+
+    def _distiller(self, teacher_flat: np.ndarray | None
+                   ) -> MetaKnowledgeDistiller | None:
+        if teacher_flat is None:
+            return None
+        if self.teacher is None:
+            self.teacher = self.setup.model_factory()
+            self.teacher_space = FlatParameterSpace.from_module(self.teacher)
+        self.teacher_space.set_flat(teacher_flat)
+        return MetaKnowledgeDistiller(
+            self.teacher, self.mask_builder, lambda0=self.setup.lambda0,
+            lt=self.setup.lt, dynamic=self.setup.dynamic_lambda,
+        )
+
+    def execute(self, task: RoundTask) -> RoundResult:
+        # Mirror the parent's process-global switches so both backends
+        # run identical kernels at identical wire precision.
+        nn.set_fused_kernels(task.fused_kernels)
+        nn.set_default_dtype(task.exchange_dtype)
+        client = self._client(task.client_id)
+        if task.session is not None:
+            client.load_session_state(task.session)
+        client.receive_global_flat(task.global_flat)
+        distiller = self._distiller(task.teacher_flat)
+        flat, metrics = client.local_train_flat(task.epochs, distiller)
+        params_flat = None
+        if np.dtype(task.exchange_dtype) != np.float64:
+            params_flat = client.flat_parameters(dtype=np.float64)
+        return RoundResult(task.client_id, flat, metrics,
+                           client.session_state(), params_flat)
+
+
+class ProcessPoolRunner(RoundRunner):
+    """Persistent process-pool execution of round tasks.
+
+    Parameters
+    ----------
+    setup:
+        The immutable per-worker world.  Under the ``fork`` start
+        method it is inherited; under ``spawn``/``forkserver`` it must
+        pickle (a module-level ``model_factory``, not a closure).
+    workers:
+        Number of worker processes (>= 1).
+    start_method:
+        Multiprocessing start method override; default
+        :func:`preferred_start_method`.
+    task_timeout:
+        Optional per-task wall-clock limit in seconds; an overrun
+        raises :class:`RoundExecutionError` (and thereby triggers the
+        trainer's serial fallback).
+    """
+
+    ships_state = True
+    fallible = True
+
+    def __init__(self, setup: WorkerSetup, workers: int,
+                 start_method: str | None = None,
+                 task_timeout: float | None = None):
+        if workers < 1:
+            raise ValueError("ProcessPoolRunner needs at least one worker")
+        self.setup = setup
+        self.workers = workers
+        self.start_method = (start_method if start_method is not None
+                             else preferred_start_method())
+        self.task_timeout = task_timeout
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = mp.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_init_worker, initargs=(self.setup,),
+            )
+        return self._pool
+
+    def run_round(self, tasks: Sequence[RoundTask],
+                  distiller: MetaKnowledgeDistiller | None = None
+                  ) -> list[RoundResult]:
+        # ``distiller`` is unused: workers rebuild one from the task's
+        # teacher_flat so the live teacher never crosses the wire.
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_execute_task, task) for task in tasks]
+            # Collect in submission (= client-id) order: aggregation
+            # never depends on completion order.
+            return [future.result(timeout=self.task_timeout)
+                    for future in futures]
+        except Exception as exc:
+            self._abort()
+            raise RoundExecutionError(
+                f"process-pool round execution failed: {exc!r}") from exc
+
+    def _abort(self) -> None:
+        """Tear the pool down without waiting (a worker is dead or hung)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            # Workers are idle between rounds: a waiting shutdown is
+            # immediate and leaves no half-closed executor pipes behind
+            # (which would print "Exception ignored" noise at exit).
+            pool.shutdown(wait=True, cancel_futures=True)

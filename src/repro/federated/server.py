@@ -6,7 +6,10 @@ Holds the global model, samples a client fraction each round
 The server views the global model through a
 :class:`~repro.nn.flatten.FlatParameterSpace`: broadcast and
 aggregation move single ``(P,)`` vectors, and averaging ``C`` uploads
-is one ``np.average`` over the stacked ``(C, P)`` matrix.
+is one ``np.average`` over the stacked ``(C, P)`` matrix.  The wire
+vectors honour the exchange dtype (:func:`repro.nn.set_default_dtype`):
+with float32 enabled, broadcasts and uploads ship at half the bytes
+while aggregation still averages in float64.
 """
 
 from __future__ import annotations
@@ -31,9 +34,19 @@ class FederatedServer:
         """The current global parameters as a state dict."""
         return self.global_model.state_dict()
 
-    def global_flat(self) -> np.ndarray:
-        """The current global parameters as one flat ``(P,)`` vector."""
-        return self._space.get_flat()
+    def global_flat(self, dtype=None) -> np.ndarray:
+        """The current global parameters as one flat ``(P,)`` vector.
+
+        Allocated in ``dtype`` when given, else the exchange dtype —
+        this is the broadcast payload, so its dtype is what the
+        communication ledger meters.
+        """
+        return self._space.get_flat(dtype=dtype)
+
+    @property
+    def num_parameters(self) -> int:
+        """Size ``P`` of the flat parameter vector."""
+        return self._space.total_size
 
     def select_clients(self, num_clients: int, fraction: float,
                        rng: np.random.Generator) -> list[int]:
@@ -46,7 +59,11 @@ class FederatedServer:
 
     def aggregate_flat(self, vectors: list[np.ndarray],
                        weights: list[float] | None = None) -> np.ndarray:
-        """Average uploaded flat vectors into the global model."""
+        """Average uploaded flat vectors into the global model.
+
+        Uploads may arrive in any float dtype (float32 on the wire with
+        the reduced exchange dtype); the average itself runs in float64.
+        """
         if not vectors:
             raise ValueError("cannot aggregate zero states")
         expected = self._space.total_size

@@ -14,15 +14,26 @@ and :class:`FederatedTrainer` runs the LightTR training loop:
 The trainer is model-agnostic: pass a different ``model_factory`` to
 train any of the ``+FL`` baselines with the identical protocol (the
 paper's FC+FL / RNN+FL / MTrajRec+FL / RNTrajRec+FL setting).
+
+Round execution is pluggable (:mod:`repro.federated.runner`): with
+``FederatedConfig(workers=N)`` (or ``FederatedTrainer(...,
+workers=N)``) the selected clients of each round train in ``N``
+persistent worker processes instead of sequentially.  With fixed seeds
+the parallel run is bit-identical to the serial one — tasks carry each
+client's RNG/optimiser session state and uploads are aggregated in
+client-id order — and a failing pool falls back to serial execution
+with a warning, continuing the run deterministically.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from .. import nn
 from ..core.base import RecoveryModel
 from ..core.distill import MetaKnowledgeDistiller
 from ..core.mask import ConstraintMaskBuilder
@@ -31,8 +42,17 @@ from ..core.training import TrainingConfig, model_segment_accuracy
 from ..data.dataset import TrajectoryDataset
 from ..data.partition import partition_dataset
 from ..data.synthetic import SyntheticDataset
+from ..nn.flatten import FlatParameterSpace
 from .client import ClientData, FederatedClient
 from .communication import CommunicationLedger
+from .runner import (
+    ProcessPoolRunner,
+    RoundExecutionError,
+    RoundRunner,
+    RoundTask,
+    SerialRunner,
+    WorkerSetup,
+)
 from .server import FederatedServer
 
 __all__ = ["FederatedConfig", "RoundRecord", "FederatedResult",
@@ -53,6 +73,7 @@ class FederatedConfig:
     lt: float = 0.4
     dynamic_lambda: bool = True  # False = fixed lambda0 (design ablation)
     aggregation: str = "uniform"  # "uniform" (Alg. 3) or "fedavg" (weighted)
+    workers: int = 0  # 0 = serial rounds; N > 0 = process-pool round runner
 
     def __post_init__(self):
         if self.rounds < 1:
@@ -61,6 +82,8 @@ class FederatedConfig:
             raise ValueError("client_fraction must be in (0, 1]")
         if self.aggregation not in ("uniform", "fedavg"):
             raise ValueError(f"unknown aggregation {self.aggregation!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = serial)")
 
 
 @dataclass(frozen=True)
@@ -130,7 +153,9 @@ class FederatedTrainer:
                  config: FederatedConfig,
                  global_test: TrajectoryDataset,
                  seed: int = 0,
-                 privatizer=None):
+                 privatizer=None,
+                 workers: int | None = None,
+                 runner: RoundRunner | None = None):
         if not client_data:
             raise ValueError("need at least one client")
         self.model_factory = model_factory
@@ -149,6 +174,47 @@ class FederatedTrainer:
             )
             for i, data in enumerate(client_data)
         ]
+        self.workers = config.workers if workers is None else workers
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = serial)")
+        self._runner = runner  # explicit injection wins; else built lazily
+        self._teacher_flat: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # round runner plumbing
+    # ------------------------------------------------------------------
+    def _worker_setup(self) -> WorkerSetup:
+        return WorkerSetup(
+            model_factory=self.model_factory,
+            client_data=tuple(client.data for client in self.clients),
+            mask_builder=self.mask_builder,
+            training=self.config.training,
+            lambda0=self.config.lambda0,
+            lt=self.config.lt,
+            dynamic_lambda=self.config.dynamic_lambda,
+        )
+
+    def _get_runner(self) -> RoundRunner:
+        if self._runner is None:
+            if self.workers > 0:
+                self._runner = ProcessPoolRunner(
+                    self._worker_setup(),
+                    workers=min(self.workers, len(self.clients)),
+                )
+            else:
+                self._runner = SerialRunner(self.clients)
+        return self._runner
+
+    def _fall_back_to_serial(self, reason: Exception) -> RoundRunner:
+        warnings.warn(
+            f"parallel round execution failed ({reason}); falling back to "
+            f"serial rounds for the rest of the run", RuntimeWarning,
+            stacklevel=3,
+        )
+        if self._runner is not None:
+            self._runner.close()
+        self._runner = SerialRunner(self.clients)
+        return self._runner
 
     # ------------------------------------------------------------------
     # the full pipeline
@@ -164,12 +230,21 @@ class FederatedTrainer:
                 lambda0=self.config.lambda0, lt=self.config.lt,
                 dynamic=self.config.dynamic_lambda,
             )
+            # The teacher is frozen after pre-training: snapshot it once
+            # (always float64 — the teacher never crosses the wire as a
+            # true upload) for worker-side distiller reconstruction.
+            self._teacher_flat = FlatParameterSpace.from_module(
+                teacher_result.teacher).get_flat(dtype=np.float64)
 
         ledger = CommunicationLedger()
         history: list[RoundRecord] = []
-        for round_index in range(self.config.rounds):
-            record = self._run_round(round_index, distiller, ledger)
-            history.append(record)
+        try:
+            for round_index in range(self.config.rounds):
+                record = self._run_round(round_index, distiller, ledger)
+                history.append(record)
+        finally:
+            if self._runner is not None:
+                self._runner.close()
 
         return FederatedResult(
             global_model=self.server.global_model,
@@ -204,22 +279,49 @@ class FederatedTrainer:
         # The whole exchange moves flat (P,) vectors: broadcast, upload,
         # privatisation, and the stacked (C, P) average.
         global_flat = self.server.global_flat()
+        runner = self._get_runner()
+        tasks = [
+            RoundTask(
+                client_id=client_id,
+                global_flat=global_flat,
+                epochs=self.config.local_epochs,
+                teacher_flat=self._teacher_flat if distiller is not None else None,
+                session=(self.clients[client_id].session_state()
+                         if runner.ships_state else None),
+                fused_kernels=nn.fused_kernels_enabled(),
+                exchange_dtype=nn.get_default_dtype().name,
+            )
+            for client_id in selected  # ascending: fixes aggregation order
+        ]
+        try:
+            results = runner.run_round(tasks, distiller)
+        except RoundExecutionError as exc:
+            if not runner.fallible:
+                raise
+            # The tasks still hold the pre-round session snapshots, so
+            # the serial re-run restores them and continues bit-exactly.
+            results = self._fall_back_to_serial(exc).run_round(tasks, distiller)
+
         uploaded: list[np.ndarray] = []
         weights: list[float] = []
         losses: list[float] = []
         lambdas: list[float] = []
-        for client_id in selected:
-            client = self.clients[client_id]
-            client.receive_global_flat(global_flat)
-            flat, metrics = client.local_train_flat(
-                epochs=self.config.local_epochs, distiller=distiller
-            )
+        exchange_dtype = nn.get_default_dtype()
+        for result in results:  # task (= ascending client-id) order
+            if result.session is not None:
+                # The round ran in a worker: adopt its trained state so
+                # the live clients stay interchangeable with serial runs.
+                self.clients[result.client_id].apply_round_result(
+                    result.upload_flat, result.session, result.params_flat
+                )
+            flat = result.upload_flat
             if self.privatizer is not None:
                 flat = self.privatizer.privatize_update_flat(flat, global_flat)
+                flat = np.asarray(flat, dtype=exchange_dtype)
             uploaded.append(flat)
-            weights.append(metrics["num_examples"])
-            losses.append(metrics["loss"])
-            lambdas.append(metrics["lambda"])
+            weights.append(result.metrics["num_examples"])
+            losses.append(result.metrics["loss"])
+            lambdas.append(result.metrics["lambda"])
 
         agg_weights = weights if self.config.aggregation == "fedavg" else None
         self.server.aggregate_flat(uploaded, agg_weights)
@@ -247,21 +349,25 @@ def train_isolated_then_average(model_factory: Callable[[], RecoveryModel],
     exchange final models pairwise (implemented as one final average).
 
     Matches the paper's Figure 7 variant where the central server is
-    removed and clients swap their local models with each other.
+    removed and clients swap their local models with each other.  The
+    exchange — averaging and ledger accounting alike — moves the same
+    flat ``(P,)`` vectors as the main federated path, so byte counts
+    are directly comparable between the two (and both honour the
+    exchange dtype of :func:`repro.nn.set_default_dtype`).
     """
     trainer = FederatedTrainer(model_factory, client_data, mask_builder,
                                config, global_test, seed=seed)
     total_epochs = config.rounds * config.local_epochs
-    states, losses = [], []
+    flats, losses = [], []
     for client in trainer.clients:
         epoch_losses = client.trainer.train_epochs(client.data.train,
                                                    epochs=total_epochs)
-        states.append(client.model.state_dict())
+        flats.append(client.flat_parameters())
         losses.append(float(np.mean(epoch_losses)))
-    trainer.server.aggregate(states)
+    trainer.server.aggregate_flat(flats)
     ledger = CommunicationLedger()
     # One exchange at the end: every client ships its model to the others.
-    ledger.record_round(0, trainer.server.global_state(), states)
+    ledger.record_round(0, trainer.server.global_flat(), flats)
     accuracy = model_segment_accuracy(trainer.server.global_model, mask_builder,
                                       global_test)
     history = [RoundRecord(0, tuple(range(len(trainer.clients))),

@@ -20,6 +20,7 @@ equivalence tests; both paths produce matching outputs and gradients
 """
 
 from .attention import AdditiveAttention, SelfAttention, scaled_dot_product_attention
+from .dtypes import get_default_dtype, set_default_dtype, use_default_dtype
 from .flatten import FlatLayout, FlatParameterSpace
 from .flops import CostReport, count_parameters, estimate_flops, st_operator_complexity
 from .functional import (
@@ -69,6 +70,8 @@ __all__ = [
     "fused_rnn_scan", "fused_gru_scan", "fused_lstm_scan",
     # fusion switch
     "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
+    # exchange dtype switch
+    "get_default_dtype", "set_default_dtype", "use_default_dtype",
     # attention
     "AdditiveAttention", "SelfAttention", "scaled_dot_product_attention",
     # losses

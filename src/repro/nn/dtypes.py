@@ -1,0 +1,68 @@
+"""Exchange-precision switch for flat parameter vectors.
+
+The training substrate is float64 end to end (parameters, gradients,
+optimiser moments).  Communication does not have to be: a federated
+upload is just a snapshot of the parameters, and shipping it as float32
+halves the bytes on the wire at ~1e-7 relative rounding - far below the
+noise floor of stochastic training.
+
+:func:`set_default_dtype` controls the *exchange* dtype: the dtype that
+:meth:`~repro.nn.flatten.FlatParameterSpace.get_flat` and
+:meth:`~repro.nn.flatten.FlatLayout.flatten_state` allocate when the
+caller does not supply an output buffer.  This is deliberately the
+first slice of a wider float32 story (see ROADMAP): model parameters
+and optimiser math stay float64 (optimisers pass their own float64
+buffers via ``out=``), so training numerics - and therefore every
+equivalence test tolerance - are unchanged.  Only the federated
+broadcast/upload payloads travel at the configured precision;
+scattering a float32 vector back into parameters upcasts on assignment.
+
+The flag is process-global.  Parallel round runners re-assert it inside
+every worker task (see :mod:`repro.federated.runner`), so serial and
+process-pool federated runs see the identical wire precision.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = ["get_default_dtype", "set_default_dtype", "use_default_dtype"]
+
+#: Exchange dtypes we support.  Everything else would silently corrupt
+#: integer state or lose more precision than federated averaging can
+#: absorb, so the setter validates against this set.
+_ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """The current exchange dtype for flat parameter vectors."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the exchange dtype (``"float32"``/``"float64"``); returns the
+    previous value so callers can restore it."""
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED:
+        raise ValueError(
+            f"unsupported exchange dtype {dtype!r}; expected one of "
+            f"{tuple(d.name for d in _ALLOWED)}"
+        )
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+@contextlib.contextmanager
+def use_default_dtype(dtype):
+    """Context manager scoping the exchange dtype (like ``no_grad``)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)

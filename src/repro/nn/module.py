@@ -62,6 +62,17 @@ class Module:
         """Return all parameters of this module and its children."""
         return [p for _, p in self.named_parameters()]
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs, self first, depth-first."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Iterate over this module and all submodules, depth-first."""
+        for _, module in self.named_modules():
+            yield module
+
     def num_parameters(self) -> int:
         """Return the total number of scalar weights."""
         return sum(p.size for p in self.parameters())

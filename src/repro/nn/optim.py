@@ -53,6 +53,33 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # flat state shipping (parallel round runners, checkpoints)
+    # ------------------------------------------------------------------
+    def _check_flat(self, name: str, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=np.float64).reshape(-1)
+        if value.size != self._space.total_size:
+            raise ValueError(
+                f"optimizer state {name!r} has {value.size} elements, "
+                f"expected {self._space.total_size}"
+            )
+        return value
+
+    def state_flat(self) -> dict:
+        """The optimiser's mutable state as flat float64 buffers.
+
+        The returned arrays are copies: shipping them across a process
+        boundary (or holding them between federated rounds) never
+        aliases the live buffers.  Stateless optimisers return ``{}``.
+        """
+        return {}
+
+    def load_state_flat(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_flat` (copies in place,
+        so existing per-parameter views of the buffers stay valid)."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys {sorted(state)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -64,6 +91,14 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity_flat = np.zeros(self._space.total_size)
         self._velocity = self._param_views(self._velocity_flat)
+
+    def state_flat(self) -> dict:
+        return {"velocity": self._velocity_flat.copy()}
+
+    def load_state_flat(self, state: dict) -> None:
+        if set(state) != {"velocity"}:
+            raise ValueError(f"SGD state expects {{'velocity'}}, got {sorted(state)}")
+        self._velocity_flat[...] = self._check_flat("velocity", state["velocity"])
 
     def step(self) -> None:
         if self._space.all_grads_present():
@@ -109,6 +144,16 @@ class Adam(Optimizer):
         self._denom = np.empty(self._space.total_size)
         self._update = np.empty(self._space.total_size)
         self._t = 0
+
+    def state_flat(self) -> dict:
+        return {"m": self._m_flat.copy(), "v": self._v_flat.copy(), "t": self._t}
+
+    def load_state_flat(self, state: dict) -> None:
+        if set(state) != {"m", "v", "t"}:
+            raise ValueError(f"Adam state expects {{'m', 'v', 't'}}, got {sorted(state)}")
+        self._m_flat[...] = self._check_flat("m", state["m"])
+        self._v_flat[...] = self._check_flat("v", state["v"])
+        self._t = int(state["t"])
 
     def step(self) -> None:
         self._t += 1

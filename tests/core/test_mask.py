@@ -87,3 +87,35 @@ class TestBatchMasks:
         assert builder._cache
         builder.clear_cache()
         assert not builder._cache
+
+
+class TestWorkerReconstruction:
+    def test_pickle_roundtrip_drops_caches_keeps_values(self, tiny_world,
+                                                        tiny_dataset, tiny_mask):
+        import pickle
+
+        batch = tiny_dataset.full_batch()
+        expected = tiny_mask.build(batch)  # also warms tiny_mask's caches
+        clone = pickle.loads(pickle.dumps(tiny_mask))
+        assert not clone._cache  # caches are rebuilt, not shipped
+        assert clone.gamma == tiny_mask.gamma
+        assert clone.radius == tiny_mask.radius
+        np.testing.assert_array_equal(clone.build(batch), expected)
+
+    def test_warm_precomputes_exactly_the_batch_keys(self, tiny_world,
+                                                     tiny_dataset):
+        warmed = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+        rows = warmed.warm(tiny_dataset)
+        assert rows == len(warmed._key_to_row) > 0
+        keys_before = set(warmed._key_to_row)
+        # Building any batch of the dataset hits only warmed keys ...
+        reference = ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+        batch = tiny_dataset.full_batch()
+        np.testing.assert_array_equal(warmed.build(batch),
+                                      reference.build(batch))
+        # ... so the cache did not need to grow.
+        assert set(warmed._key_to_row) == keys_before
+
+    def test_warm_identity_and_empty_are_noops(self, tiny_world, tiny_dataset):
+        identity = ConstraintMaskBuilder(tiny_world.network, identity=True)
+        assert identity.warm(tiny_dataset) == 0

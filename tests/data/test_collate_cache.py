@@ -1,0 +1,65 @@
+"""Collation cache: padded batches are memoised per chunk key."""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import _BATCH_CACHE_CAP
+
+
+class TestCollationCache:
+    def test_full_batch_is_cached(self, tiny_dataset):
+        assert tiny_dataset.full_batch() is tiny_dataset.full_batch()
+
+    def test_unshuffled_batches_are_cached_across_epochs(self, tiny_dataset):
+        first = list(tiny_dataset.batches(4))
+        second = list(tiny_dataset.batches(4))
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_shuffled_batches_match_fresh_collation(self, tiny_dataset):
+        """A shuffled epoch produces new chunk keys; contents must equal
+        an uncached collation of the same chunks."""
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        shuffled = list(tiny_dataset.batches(4, rng=rng1))
+        tiny_dataset.clear_batch_cache()
+        recollated = list(tiny_dataset.batches(4, rng=rng2))
+        assert len(shuffled) == len(recollated)
+        for a, b in zip(shuffled, recollated):
+            np.testing.assert_array_equal(a.obs_cells, b.obs_cells)
+            np.testing.assert_array_equal(a.tgt_segments, b.tgt_segments)
+            np.testing.assert_array_equal(a.guide_xy, b.guide_xy)
+            np.testing.assert_array_equal(a.traj_ids, b.traj_ids)
+
+    def test_clear_batch_cache_invalidates(self, tiny_dataset):
+        cached = tiny_dataset.full_batch()
+        tiny_dataset.clear_batch_cache()
+        fresh = tiny_dataset.full_batch()
+        assert cached is not fresh
+        np.testing.assert_array_equal(cached.tgt_segments, fresh.tgt_segments)
+
+    def test_split_datasets_start_with_empty_caches(self, tiny_dataset):
+        tiny_dataset.full_batch()  # warm the parent cache
+        train, valid, test = tiny_dataset.split(rng=np.random.default_rng(0))
+        for part in (train, valid, test):
+            assert len(part._batch_cache) == 0
+
+    def test_cached_batches_are_read_only(self, tiny_dataset):
+        batch = tiny_dataset.full_batch()
+        with pytest.raises(ValueError):
+            batch.tgt_segments[0, 0] = 99
+        # The documented escape hatch: deepcopy yields writable arrays.
+        clone = copy.deepcopy(batch)
+        clone.tgt_segments[0, 0] = 99
+        assert clone.tgt_segments[0, 0] == 99
+
+    def test_cache_is_bounded(self, tiny_dataset):
+        tiny_dataset.clear_batch_cache()
+        rng = np.random.default_rng(0)
+        for _ in range(200):  # many shuffled epochs: fresh keys each time
+            list(tiny_dataset.batches(3, rng=rng))
+        assert len(tiny_dataset._batch_cache) <= _BATCH_CACHE_CAP
+        tiny_dataset.clear_batch_cache()

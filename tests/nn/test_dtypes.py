@@ -1,0 +1,91 @@
+"""The exchange-dtype switch (first slice of the float32 story).
+
+Training math stays float64 regardless of the knob (optimisers pass
+explicit float64 ``out`` buffers), so the equivalence tests elsewhere
+keep their tight tolerances; only payload allocation changes.  The
+federated-level effect (halved ledger bytes, serial == parallel) is
+covered in ``tests/federated``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.flatten import FlatLayout, FlatParameterSpace
+from repro.nn.module import Parameter
+
+
+def make_space():
+    params = [Parameter(np.arange(6, dtype=np.float64).reshape(2, 3), name="w"),
+              Parameter(np.ones(4), name="b")]
+    return FlatParameterSpace(params)
+
+
+class TestKnob:
+    def test_default_is_float64(self):
+        assert nn.get_default_dtype() == np.float64
+
+    def test_set_returns_previous_and_context_restores(self):
+        previous = nn.set_default_dtype("float32")
+        try:
+            assert previous == np.float64
+            assert nn.get_default_dtype() == np.float32
+        finally:
+            nn.set_default_dtype(previous)
+        with nn.use_default_dtype(np.float32):
+            assert nn.get_default_dtype() == np.float32
+        assert nn.get_default_dtype() == np.float64
+
+    def test_rejects_non_float_dtypes(self):
+        for bad in ("int64", np.int32, "float16", "complex128"):
+            with pytest.raises(ValueError):
+                nn.set_default_dtype(bad)
+
+
+class TestFlatThreading:
+    def test_get_flat_honours_exchange_dtype(self):
+        space = make_space()
+        assert space.get_flat().dtype == np.float64
+        with nn.use_default_dtype("float32"):
+            flat = space.get_flat()
+        assert flat.dtype == np.float32
+        assert flat.nbytes == space.total_size * 4
+
+    def test_explicit_dtype_and_out_override_the_knob(self):
+        space = make_space()
+        with nn.use_default_dtype("float32"):
+            assert space.get_flat(dtype=np.float64).dtype == np.float64
+            out = np.empty(space.total_size)
+            assert space.get_flat(out=out) is out
+            assert out.dtype == np.float64
+
+    def test_float32_roundtrip_restores_parameters_within_eps(self):
+        space = make_space()
+        original = space.get_flat(dtype=np.float64)
+        with nn.use_default_dtype("float32"):
+            wire = space.get_flat()
+            space.set_flat(wire)
+        # Parameters remain float64 storage; values rounded to float32.
+        assert space.parameters[0].data.dtype == np.float64
+        np.testing.assert_allclose(space.get_flat(dtype=np.float64), original,
+                                   rtol=1e-7)
+
+    def test_flatten_state_honours_exchange_dtype(self):
+        state = {"w": np.zeros((2, 3)), "b": np.ones(4)}
+        layout = FlatLayout.from_state(state)
+        assert layout.flatten_state(state).dtype == np.float64
+        with nn.use_default_dtype("float32"):
+            assert layout.flatten_state(state).dtype == np.float32
+        # unflatten always restores float64 state arrays.
+        assert layout.unflatten(np.zeros(10, dtype=np.float32))["w"].dtype == np.float64
+
+    def test_optimizer_math_stays_float64_under_float32_exchange(self):
+        params = [Parameter(np.ones(8), name="w")]
+        optimizer = nn.Adam(params, lr=1e-2)
+        params[0].grad = np.full(8, 0.5)
+        with nn.use_default_dtype("float32"):
+            optimizer.step()
+        assert params[0].data.dtype == np.float64
+        assert optimizer._m_flat.dtype == np.float64
