@@ -1,6 +1,6 @@
 """Hot-path timing benchmark: fused kernels vs the per-step tape path.
 
-Times the three layers the fused/vectorized refactor targets —
+Times the four layers the fused/vectorized refactors target —
 
 * encoder forward + backward (one fused GRU scan vs T per-step cells),
 * one local training epoch (fused teacher-forced decode, batched
@@ -8,6 +8,9 @@ Times the three layers the fused/vectorized refactor targets —
 * one full federated round (flat-vector broadcast/upload/aggregate),
   serial vs the process-pool round runner (``workers=4``) on a
   multi-client world,
+* constraint-mask build + masked log-softmax, dense vs CSR-sparse,
+  across growing segment vocabularies (the sparse win scales with
+  vocabulary size as density falls),
 
 and writes the measurements to ``BENCH_hotpath.json`` at the repo root
 so future PRs can track the speed trajectory.  The parallel speedup
@@ -41,6 +44,7 @@ from repro.core.training import TrainingConfig
 from repro.data import TrajectoryDataset, geolife_like
 from repro.federated import FederatedConfig, FederatedTrainer, build_federation
 from repro.nn.tensor import Tensor
+from repro.spatial import grid_city
 
 pytestmark = pytest.mark.slow
 
@@ -206,6 +210,73 @@ def _time_epoch() -> dict:
     return timings
 
 
+SPARSE_GRID_SIZES = (16, 28, 40)  # grid_city sizes: S ~ 1k / 3k / 6.4k
+SPARSE_BATCH = 16
+SPARSE_STEPS = 24
+
+
+def _time_sparse_mask() -> dict:
+    """Dense vs CSR-sparse constraint masks: build + masked log-softmax.
+
+    For each segment-vocabulary size, times one batch's mask build plus
+    the masked log-softmax over random logits (the Eq. 11 hot path) on
+    a warmed builder, dense vs sparse, and separately a full training
+    step of that layer (forward + the NLL loss backward).  Density and
+    vocabulary size are recorded so the scaling story is legible: the
+    sparse win grows as the vocabulary grows and density falls.
+    """
+    from types import SimpleNamespace
+
+    rng = np.random.default_rng(0)
+    sizes = []
+    for grid_n in SPARSE_GRID_SIZES:
+        network = grid_city(nx=grid_n, ny=grid_n, spacing=200.0,
+                            drop_prob=0.0, rng=np.random.default_rng(3))
+        num_segments = network.num_segments
+        x0, y0, x1, y1 = network.bounding_box()
+        guide = np.stack(
+            [rng.uniform(x0, x1, (SPARSE_BATCH, SPARSE_STEPS)),
+             rng.uniform(y0, y1, (SPARSE_BATCH, SPARSE_STEPS))], axis=-1)
+        # `build` only reads guide positions: a stub batch keeps the
+        # setup cost of huge vocabularies out of the timed region.
+        batch = SimpleNamespace(guide_xy=guide)
+        builder = ConstraintMaskBuilder(network, radius=500.0)
+        logits = rng.standard_normal((SPARSE_BATCH, SPARSE_STEPS, num_segments))
+        flat_rows = SPARSE_BATCH * SPARSE_STEPS
+        targets = rng.integers(0, num_segments, flat_rows)
+        weights = np.ones(flat_rows)
+        builder.build(batch)  # warm both cache layers
+        density = builder.build_sparse(batch).density
+
+        def leg(build_fn, backward):
+            def run():
+                log_mask = build_fn(batch)
+                x = Tensor(logits, requires_grad=True)
+                out = nn.masked_log_softmax(x, log_mask)
+                if backward:
+                    nn.nll_from_log_probs(
+                        out.reshape(flat_rows, num_segments), targets, weights
+                    ).backward()
+            run()  # warm up
+            return _best_of(run, repeats=7)
+
+        dense = leg(builder.build, backward=False)
+        sparse = leg(builder.build_sparse, backward=False)
+        dense_step = leg(builder.build, backward=True)
+        sparse_step = leg(builder.build_sparse, backward=True)
+        sizes.append({
+            "num_segments": num_segments,
+            "density": density,
+            "dense": dense,
+            "sparse": sparse,
+            "speedup": dense / sparse,
+            "train_step_dense": dense_step,
+            "train_step_sparse": sparse_step,
+            "train_step_speedup": dense_step / sparse_step,
+        })
+    return {"sizes": sizes, "largest_vocab_speedup": sizes[-1]["speedup"]}
+
+
 PARALLEL_WORKERS = 4
 PARALLEL_CLIENTS = 8
 PARALLEL_ROUNDS = 3
@@ -269,11 +340,13 @@ def _time_federated_round() -> dict:
 def test_perf_hotpath():
     encoder = _time_encoder()
     epoch = _time_epoch()
+    sparse_mask = _time_sparse_mask()
     fed_round = _time_federated_round()
 
     report = {
         "encoder_forward_backward_seconds": encoder,
         "local_epoch_seconds": epoch,
+        "sparse_mask_seconds": sparse_mask,
         "federated_round_seconds": fed_round,
     }
     with open(BENCH_PATH, "w") as handle:
@@ -288,6 +361,10 @@ def test_perf_hotpath():
     # loaded single-core containers.
     assert encoder["speedup"] > 1.15, encoder
     assert epoch["speedup"] >= 2.5, epoch
+    # Sparse masks must win clearly where it matters — the largest
+    # vocabulary (density falls as the network grows, so the dense
+    # build + softmax pays for ever more inactive segments).
+    assert sparse_mask["largest_vocab_speedup"] >= 2.0, sparse_mask
     # Process-pool rounds must scale once there are cores to scale onto
     # (and a start method that can actually run the pool).
     if fed_round["cpus"] >= PARALLEL_WORKERS and fed_round["fork"]:

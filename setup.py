@@ -1,11 +1,29 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
 This environment is offline and has no ``wheel`` package, so PEP 660
-editable installs cannot build; this shim lets ``pip install -e .`` fall
-back to the classic ``setup.py develop`` path.  All metadata lives in
-``pyproject.toml``.
+editable installs cannot build; keeping the metadata here lets
+``pip install -e .`` fall back to the classic ``setup.py develop``
+path.  The long description is the top-level ``README.md``.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+with open(os.path.join(_HERE, "README.md"), encoding="utf-8") as handle:
+    LONG_DESCRIPTION = handle.read()
+
+setup(
+    name="lighttr-repro",
+    version="1.0.0",
+    description=("NumPy-only reproduction of LightTR: a lightweight "
+                 "framework for federated trajectory recovery (ICDE 2024)"),
+    long_description=LONG_DESCRIPTION,
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -3,7 +3,7 @@
 from .base import ModelOutput, RecoveryModel, RecoveryModelConfig
 from .distill import MetaKnowledgeDistiller, dynamic_lambda
 from .lte import LTEConfig, LTEModel
-from .mask import GAMMA_DEFAULT, ConstraintMaskBuilder
+from .mask import GAMMA_DEFAULT, ConstraintMaskBuilder, SparseConstraintMask
 from .recovery import RecoveredTrajectory, TrajectoryRecovery
 from .st_block import LightweightSTOperator, STStepOutput
 from .teacher import TeacherConfig, TeacherTrainingResult, train_teacher
@@ -17,6 +17,7 @@ from .training import (
 __all__ = [
     "RecoveryModel", "RecoveryModelConfig", "ModelOutput",
     "LTEConfig", "LTEModel",
+    "SparseConstraintMask",
     "LightweightSTOperator", "STStepOutput",
     "ConstraintMaskBuilder", "GAMMA_DEFAULT",
     "MetaKnowledgeDistiller", "dynamic_lambda",

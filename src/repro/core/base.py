@@ -67,6 +67,12 @@ class ModelOutput:
 class RecoveryModel(nn.Module):
     """Base class: shared loss and coordinate normalisation."""
 
+    #: Whether ``forward`` accepts a CSR-style
+    #: :class:`~repro.core.mask.SparseConstraintMask` in place of the
+    #: dense ``(B, T, S)`` log-mask array.  Models that opt in get the
+    #: sparse hot path from :meth:`ConstraintMaskBuilder.build_for`.
+    supports_sparse_mask = False
+
     def __init__(self, config: RecoveryModelConfig):
         super().__init__()
         self.config = config
@@ -111,11 +117,16 @@ class RecoveryModel(nn.Module):
         normed[..., 1] = (guide_xy[..., 1] - cy) / half
         return normed
 
-    @staticmethod
-    def _validate_mask(log_mask: np.ndarray, batch: Batch, num_segments: int) -> None:
+    def _validate_mask(self, log_mask, batch: Batch, num_segments: int) -> None:
+        if not isinstance(log_mask, np.ndarray) and not self.supports_sparse_mask:
+            raise TypeError(
+                f"{type(self).__name__} does not accept sparse constraint "
+                f"masks; build a dense one with ConstraintMaskBuilder.build() "
+                f"(or let build_for() pick the representation)"
+            )
         b, t = batch.tgt_segments.shape
-        if log_mask.shape != (b, t, num_segments):
+        if tuple(log_mask.shape) != (b, t, num_segments):
             raise ValueError(
-                f"log_mask shape {log_mask.shape} does not match batch "
+                f"log_mask shape {tuple(log_mask.shape)} does not match batch "
                 f"({b}, {t}, {num_segments})"
             )

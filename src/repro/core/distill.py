@@ -86,13 +86,18 @@ class MetaKnowledgeDistiller:
         return dynamic_lambda(self.lambda0, acc_teacher, acc_student, self.lt)
 
     def distillation_term(self, student_output: ModelOutput, batch: Batch,
-                          log_mask: np.ndarray) -> Tensor:
+                          log_mask) -> Tensor:
         """Paper Eq. 16: ``||f_tea(T) - f_stu(T)||^2``.
 
         Both heads are matched: the student's segment probability
         distribution and moving ratios are pulled toward the teacher's.
-        The teacher runs without gradient tracking.
+        The teacher runs without gradient tracking.  ``log_mask`` is
+        whatever the student trained with (dense or sparse); it is
+        densified if this teacher cannot consume sparse masks.
         """
+        if (not isinstance(log_mask, np.ndarray)
+                and not getattr(self.teacher, "supports_sparse_mask", False)):
+            log_mask = log_mask.to_dense()
         with nn.no_grad():
             teacher_out = self.teacher(batch, log_mask, teacher_forcing=True)
         prob_term = nn.mse_loss(student_output.probs(),

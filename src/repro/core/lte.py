@@ -22,6 +22,7 @@ from .. import nn
 from ..data.dataset import Batch
 from ..nn.tensor import Tensor
 from .base import ModelOutput, RecoveryModel, RecoveryModelConfig
+from .mask import SparseConstraintMask
 from .st_block import LightweightSTOperator
 
 __all__ = ["LTEConfig", "LTEModel"]
@@ -35,6 +36,10 @@ class LTEModel(RecoveryModel):
 
     #: number of auxiliary features fed to each decode step
     EXTRA_INPUTS = 4
+
+    #: Both fused decode paths consume CSR constraint masks natively
+    #: (the per-step reference path densifies them on entry).
+    supports_sparse_mask = True
 
     def __init__(self, config: RecoveryModelConfig, rng: np.random.Generator):
         super().__init__(config)
@@ -88,7 +93,12 @@ class LTEModel(RecoveryModel):
             Padded mini-batch.
         log_mask:
             Constraint-mask log weights ``(B, T, S)`` from
-            :class:`~repro.core.mask.ConstraintMaskBuilder`.
+            :class:`~repro.core.mask.ConstraintMaskBuilder` — either the
+            dense array of :meth:`~ConstraintMaskBuilder.build` or the
+            CSR :class:`~repro.core.mask.SparseConstraintMask` of
+            :meth:`~ConstraintMaskBuilder.build_sparse`; the fused
+            decode paths then restrict the masked log-softmax to each
+            row's active segments.
         teacher_forcing:
             During training, feed ground-truth previous points into each
             step; at inference, feed the model's own predictions (with
@@ -110,6 +120,9 @@ class LTEModel(RecoveryModel):
                                                           extras)
             if not nn.is_grad_enabled():
                 return self._forward_inference_fused(batch, log_mask, h, extras)
+        if isinstance(log_mask, SparseConstraintMask):
+            # The per-step reference loop indexes the mask densely.
+            log_mask = log_mask.to_dense()
         return self._forward_stepwise(batch, log_mask, h, extras,
                                       teacher_forcing)
 
@@ -140,11 +153,13 @@ class LTEModel(RecoveryModel):
         log_probs = np.empty((b, t, self.config.num_segments))
         ratios = np.empty((b, t))
         segments = np.empty((b, t), dtype=np.int64)
+        sparse = isinstance(log_mask, SparseConstraintMask)
         for step in range(t):
+            mask_t = log_mask.step(step) if sparse else log_mask[:, step, :]
             states, step_logs, step_segments, step_ratios = (
                 self.st_operator.step_inference(
                     states, prev_segments, prev_ratios, extras[:, step],
-                    log_mask[:, step, :],
+                    mask_t,
                 )
             )
             log_probs[:, step] = step_logs

@@ -48,7 +48,7 @@ class TrajectoryRecovery:
         Observed steps are clamped to their ground-truth (observed)
         values; ratios are clipped to [0, 1].
         """
-        log_mask = self.mask_builder.build(batch)
+        log_mask = self.mask_builder.build_for(batch, self.model)
         self.model.eval()
         with nn.no_grad():
             output = self.model(batch, log_mask, teacher_forcing=False)

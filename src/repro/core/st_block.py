@@ -149,7 +149,9 @@ class LightweightSTOperator(nn.Module):
         extras:
             ``(B, T, extra_inputs)`` auxiliary step features.
         log_mask:
-            ``(B, T, S)`` constraint-mask log weights.
+            ``(B, T, S)`` constraint-mask log weights — dense array or
+            :class:`~repro.core.mask.SparseConstraintMask` (the masked
+            log-softmax then runs over active indices only).
 
         Returns
         -------
@@ -185,8 +187,12 @@ class LightweightSTOperator(nn.Module):
 
         Mirrors :meth:`step` operation by operation but skips all tape
         bookkeeping, which dominates the cost of autoregressive decoding
-        under ``no_grad``.  Returns ``(next_states, log_probs, segments,
-        ratios)`` as plain NumPy arrays.
+        under ``no_grad``.  ``log_mask_t`` is either a dense ``(B, S)``
+        array or a per-step ``(B, S)`` sparse mask (from
+        :meth:`SparseConstraintMask.step`), in which case the masked
+        log-softmax runs over active indices only.  Returns
+        ``(next_states, log_probs, segments, ratios)`` as plain NumPy
+        arrays.
         """
         emb_w = self.seg_embedding.weight.data
         x = np.concatenate(
@@ -201,9 +207,13 @@ class LightweightSTOperator(nn.Module):
         logits = h_d @ self.seg_head.weight.data
         if self.seg_head.bias is not None:
             logits += self.seg_head.bias.data
-        masked = logits + log_mask_t
-        shifted = masked - masked.max(axis=-1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        if isinstance(log_mask_t, np.ndarray):
+            masked = logits + log_mask_t
+            shifted = masked - masked.max(axis=-1, keepdims=True)
+            log_probs = shifted - np.log(
+                np.exp(shifted).sum(axis=-1, keepdims=True))
+        else:
+            log_probs = nn.sparse_masked_log_probs(logits, log_mask_t)
         segments = np.argmax(log_probs, axis=-1).astype(np.int64)
 
         seg_emb = emb_w[segments]

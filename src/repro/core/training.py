@@ -73,7 +73,7 @@ class LocalTrainer:
         epoch_loss = 0.0
         num_batches = 0
         for batch in dataset.batches(self.config.batch_size, rng=self.rng):
-            log_mask = self.mask_builder.build(batch)
+            log_mask = self.mask_builder.build_for(batch, self.model)
             self.optimizer.zero_grad()
             output = self.model(batch, log_mask, teacher_forcing=True)
             loss, _ = self.model.loss(output, batch, mu=self.config.mu)
@@ -102,7 +102,7 @@ def model_segment_accuracy(model: RecoveryModel, mask_builder: ConstraintMaskBui
         raise ValueError("cannot evaluate on an empty dataset")
     model.eval()
     batch = dataset.full_batch()
-    log_mask = mask_builder.build(batch)
+    log_mask = mask_builder.build_for(batch, model)
     with nn.no_grad():
         output = model(batch, log_mask, teacher_forcing=False)
     model.train()

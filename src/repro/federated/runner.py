@@ -29,12 +29,26 @@ round histories and final global parameters:
 * every task carries the client's full mutable state (RNG bit-generator
   state, flat Adam/SGD moments), so results do not depend on which
   worker executes which client, or on pool scheduling;
-* tasks also re-assert the process-global kernel-fusion flag and
-  exchange dtype inside the worker, so both sides run the same kernels
-  at the same precision;
+* tasks also re-assert the process-global switches inside the worker —
+  the kernel-fusion flag, the sparse-constraint-mask flag, and the
+  exchange dtype — so both sides run the same kernels over the same
+  mask representation at the same precision;
 * the trainer submits tasks in ascending client-id order and the
   runners return results in task order, so aggregation order never
   depends on completion order.
+
+RoundTask shipping contract
+---------------------------
+A :class:`RoundTask` must stay cheap to pickle and self-sufficient: the
+flat ``(P,)`` global vector, the client id, the local epoch count, the
+frozen teacher's flat state (or ``None``), the client's session
+snapshot (or ``None`` for in-process execution), and the three global
+switches above.  Heavy, rebuildable objects never ride on tasks — the
+datasets, road network, and constraint-mask builder travel once in the
+:class:`WorkerSetup` (the builder pickles *cache-free*: its sparse row
+pool and dense row mirrors are dropped by ``__getstate__`` and
+re-warmed in the worker via :meth:`ConstraintMaskBuilder.warm`, which
+fills sparse rows only).
 
 Failure handling: a dead worker, unpicklable payload, or task timeout
 raises :class:`RoundExecutionError`; the trainer catches it, warns, and
@@ -108,6 +122,7 @@ class RoundTask:
     teacher_flat: np.ndarray | None  # float64; None = no distillation
     session: ClientSessionState | None  # None = run on live client state
     fused_kernels: bool = True
+    sparse_masks: bool = True
     exchange_dtype: str = "float64"
 
 
@@ -229,8 +244,10 @@ class _WorkerState:
 
     def execute(self, task: RoundTask) -> RoundResult:
         # Mirror the parent's process-global switches so both backends
-        # run identical kernels at identical wire precision.
+        # run identical kernels over the same mask representation at
+        # identical wire precision.
         nn.set_fused_kernels(task.fused_kernels)
+        nn.set_sparse_masks(task.sparse_masks)
         nn.set_default_dtype(task.exchange_dtype)
         client = self._client(task.client_id)
         if task.session is not None:

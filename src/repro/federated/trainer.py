@@ -289,6 +289,7 @@ class FederatedTrainer:
                 session=(self.clients[client_id].session_state()
                          if runner.ships_state else None),
                 fused_kernels=nn.fused_kernels_enabled(),
+                sparse_masks=nn.sparse_masks_enabled(),
                 exchange_dtype=nn.get_default_dtype().name,
             )
             for client_id in selected  # ascending: fixes aggregation order

@@ -52,7 +52,7 @@ def evaluate_model(model: RecoveryModel, mask_builder: ConstraintMaskBuilder,
     if len(dataset) == 0:
         raise ValueError("cannot evaluate on an empty dataset")
     batch = dataset.full_batch()
-    log_mask = mask_builder.build(batch)
+    log_mask = mask_builder.build_for(batch, model)
     model.eval()
     with nn.no_grad():
         output = model(batch, log_mask, teacher_forcing=False)

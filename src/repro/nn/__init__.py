@@ -33,10 +33,18 @@ from .functional import (
     masked_log_softmax,
     pad_sequences,
     softmax,
+    sparse_masked_log_probs,
     stack,
     where_mask,
 )
-from .fusion import fused_kernels_enabled, set_fused_kernels, use_fused_kernels
+from .fusion import (
+    fused_kernels_enabled,
+    set_fused_kernels,
+    set_sparse_masks,
+    sparse_masks_enabled,
+    use_fused_kernels,
+    use_sparse_masks,
+)
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Sigmoid, Tanh
 from .loss import cross_entropy, distillation_loss, l1_loss, mse_loss, nll_from_log_probs
 from .module import Module, ModuleList, Parameter, Sequential
@@ -60,6 +68,7 @@ __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "zeros", "ones", "randn",
     # functional
     "addmm", "concat", "stack", "softmax", "log_softmax", "masked_log_softmax",
+    "sparse_masked_log_probs",
     "gather_rows", "embedding_lookup", "dropout", "where_mask", "pad_sequences",
     # module system
     "Module", "ModuleList", "Parameter", "Sequential",
@@ -68,8 +77,9 @@ __all__ = [
     # recurrent
     "RNN", "RNNCell", "GRU", "GRUCell", "LSTM", "LSTMCell",
     "fused_rnn_scan", "fused_gru_scan", "fused_lstm_scan",
-    # fusion switch
+    # fusion / sparse-mask switches
     "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
+    "sparse_masks_enabled", "set_sparse_masks", "use_sparse_masks",
     # exchange dtype switch
     "get_default_dtype", "set_default_dtype", "use_default_dtype",
     # attention

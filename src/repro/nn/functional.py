@@ -19,6 +19,7 @@ __all__ = [
     "softmax",
     "log_softmax",
     "masked_log_softmax",
+    "sparse_masked_log_probs",
     "gather_rows",
     "embedding_lookup",
     "dropout",
@@ -130,13 +131,23 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return _node(out_data, (x,), backward)
 
 
-def masked_log_softmax(x: Tensor, log_mask: np.ndarray, axis: int = -1) -> Tensor:
+def masked_log_softmax(x: Tensor, log_mask, axis: int = -1) -> Tensor:
     """``log_softmax(x + log_mask)`` as one tape node (paper Eq. 11).
 
     ``log_mask`` is a constant additive bias (the constraint-mask log
     weights), so folding it into the log-softmax skips one add node and
     its dense backward pass on the hot decode path.
+
+    ``log_mask`` is either a dense array broadcastable against ``x`` or
+    a CSR-style sparse mask (an object with ``indptr`` / ``indices`` /
+    ``log_values`` / ``floor`` attributes, such as
+    :class:`repro.core.mask.SparseConstraintMask`).  With a sparse mask
+    the exponentials, the normaliser, and the backward softmax term are
+    computed only over each row's active indices — the dominant softmax
+    cost scales with the mask's nnz instead of the full vocabulary.
     """
+    if not isinstance(log_mask, np.ndarray):
+        return _sparse_masked_log_softmax(x, log_mask, axis)
     x = as_tensor(x)
     shifted = x.data + log_mask
     shifted -= shifted.max(axis=axis, keepdims=True)
@@ -153,6 +164,108 @@ def masked_log_softmax(x: Tensor, log_mask: np.ndarray, axis: int = -1) -> Tenso
         stage(x, dx)
 
     return _node(out_data, (x,), backward)
+
+
+def _sparse_log_probs_core(x2: np.ndarray, smask, want_soft: bool):
+    """Masked log-softmax over CSR rows; shared by tape and no-tape paths.
+
+    ``x2`` is the ``(R, S)`` row-flattened logits; ``smask`` supplies
+    ``indptr`` (``(R+1,)``), ``indices`` / ``log_values`` (``(nnz,)``)
+    and the scalar ``floor`` assigned to inactive entries.  The dense
+    equivalent adds ``floor`` everywhere and the active ``log_values``
+    on top, then log-softmaxes each row; here ``exp`` runs only over
+    the nnz active entries, and rows with an empty active set (the
+    empty-radius fallback, where the dense mask is uniformly ``floor``)
+    drop to a dense log-softmax over just those rows.
+
+    Returns ``(out, (nz_rows, soft_nz, empty, soft_empty))`` where the
+    second element carries what the backward pass needs (softmax values
+    at the active entries, and dense softmax rows for empty-set rows);
+    ``soft_nz`` / ``soft_empty`` are ``None`` unless ``want_soft``.
+    """
+    r, s = x2.shape
+    indptr = smask.indptr
+    lens = np.diff(indptr)
+    nz_rows = np.repeat(np.arange(r), lens)
+    z_nz = x2[nz_rows, smask.indices] + smask.log_values
+    nonempty = lens > 0
+    soft_nz = None
+    log_z = np.empty(r, dtype=x2.dtype)
+    if z_nz.size:
+        starts = indptr[:-1][nonempty]
+        seg_lens = lens[nonempty]
+        seg_max = np.maximum.reduceat(z_nz, starts)
+        e_nz = np.exp(z_nz - np.repeat(seg_max, seg_lens))
+        seg_sum = np.add.reduceat(e_nz, starts)
+        log_z[nonempty] = seg_max + np.log(seg_sum)
+        if want_soft:
+            e_nz /= np.repeat(seg_sum, seg_lens)
+            soft_nz = e_nz
+    elif want_soft:
+        soft_nz = np.empty(0, dtype=x2.dtype)
+    empty = ~nonempty
+    soft_empty = None
+    if empty.any():
+        xe = x2[empty]
+        max_e = xe.max(axis=1, keepdims=True)
+        exp_e = np.exp(xe - max_e)
+        sum_e = exp_e.sum(axis=1, keepdims=True)
+        log_z[empty] = smask.floor + (max_e + np.log(sum_e)).ravel()
+        if want_soft:
+            exp_e /= sum_e
+            soft_empty = exp_e
+    out = x2 + (smask.floor - log_z)[:, None]
+    out[nz_rows, smask.indices] = z_nz - log_z[nz_rows]
+    return out, (nz_rows, soft_nz, empty, soft_empty)
+
+
+def _sparse_masked_log_softmax(x: Tensor, smask, axis: int) -> Tensor:
+    """Sparse-mask leg of :func:`masked_log_softmax` (one tape node)."""
+    x = as_tensor(x)
+    if axis not in (-1, x.ndim - 1):
+        raise ValueError("sparse masked_log_softmax supports the last axis only")
+    if getattr(smask, "identity", False):
+        # Disabled mask: a uniformly-zero log weight cancels in softmax.
+        return log_softmax(x, axis=-1)
+    if tuple(smask.shape) != x.shape:
+        raise ValueError(
+            f"sparse mask shape {tuple(smask.shape)} does not match logits {x.shape}"
+        )
+    s = x.shape[-1]
+    x2 = x.data.reshape(-1, s)
+    out2, (nz_rows, soft_nz, empty, soft_empty) = _sparse_log_probs_core(
+        x2, smask, want_soft=True
+    )
+    indices = smask.indices
+
+    def backward(grad, stage):
+        g2 = np.asarray(grad).reshape(-1, s)
+        g_sum = g2.sum(axis=1)
+        dx = g2.copy()
+        if nz_rows.size:
+            dx[nz_rows, indices] -= soft_nz * g_sum[nz_rows]
+        if soft_empty is not None:
+            dx[empty] -= soft_empty * g_sum[empty, None]
+        stage(x, dx.reshape(x.shape))
+
+    return _node(out2.reshape(x.shape), (x,), backward)
+
+
+def sparse_masked_log_probs(logits: np.ndarray, smask) -> np.ndarray:
+    """Plain-NumPy sparse masked log-softmax (no tape): inference path.
+
+    Same computation as the sparse leg of :func:`masked_log_softmax`
+    but on raw arrays, for the tape-free autoregressive decode.
+    ``logits`` may carry leading batch dims; ``smask`` rows must match
+    their product.
+    """
+    if getattr(smask, "identity", False):
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    out, _ = _sparse_log_probs_core(
+        logits.reshape(-1, logits.shape[-1]), smask, want_soft=False
+    )
+    return out.reshape(logits.shape)
 
 
 def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:

@@ -1,24 +1,60 @@
-"""Global switch between fused sequence kernels and the per-step tape.
+"""Global switches between fused/sparse hot paths and reference paths.
 
-The fused kernels (whole-sequence RNN/GRU/LSTM scans with hand-written
-BPTT, and the batched teacher-forced ST-operator decode) are the default
-hot path.  The original per-step tape path is kept for equivalence
-testing and as a reference implementation; disable fusion to use it:
+This module owns two process-global flags, both following the same
+pattern (getter, setter returning the previous value, and a scoping
+context manager):
+
+**Kernel fusion** (:func:`use_fused_kernels`, default *on*).  The fused
+kernels (whole-sequence RNN/GRU/LSTM scans with hand-written BPTT, and
+the batched teacher-forced ST-operator decode) are the default hot
+path.  The original per-step tape path is kept for equivalence testing
+and as a reference implementation; disable fusion to use it::
 
     with nn.use_fused_kernels(False):
         output = model(batch, log_mask)
 
-Both paths are verified to produce matching outputs and gradients in
-``tests/nn/test_fused_recurrent.py`` and ``tests/core/test_fused_decode.py``.
+**Sparse constraint masks** (:func:`use_sparse_masks`, default *on*).
+When enabled, :meth:`repro.core.mask.ConstraintMaskBuilder.build_for`
+hands models a CSR-style :class:`~repro.core.mask.SparseConstraintMask`
+instead of a dense ``(B, T, S)`` array, and
+:func:`repro.nn.functional.masked_log_softmax` computes the normaliser,
+softmax, and gradient only over each row's active segment indices.
+Disable it to force the dense reference mask path::
+
+    with nn.use_sparse_masks(False):
+        trainer.train_epoch(dataset)
+
+Equivalence contract
+--------------------
+Every (fused, sparse) combination computes the same function:
+
+* fused vs per-step kernels match outputs and gradients to atol 1e-10
+  (``tests/nn/test_fused_recurrent.py``, ``tests/core/test_fused_decode.py``);
+* sparse vs dense masked log-softmax matches to ~1e-9 relative — the
+  sparse normaliser drops the sub-``exp(floor)`` (≈1e-13) contribution
+  of out-of-radius segments, everything else is identical
+  (``tests/core/test_sparse_mask.py``);
+* argmax segment predictions are bit-identical between sparse and dense
+  masks (the sparse output differs from the dense one only by a
+  per-row-constant normaliser shift).
+
+Both flags are process-global; the parallel federated round runner
+re-asserts them inside every worker task (see
+:mod:`repro.federated.runner`), so serial and process-pool rounds run
+the same kernels on the same mask representation.
 """
 
 from __future__ import annotations
 
 import contextlib
 
-__all__ = ["fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels"]
+__all__ = [
+    "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
+    "sparse_masks_enabled", "set_sparse_masks", "use_sparse_masks",
+]
 
 _FUSED_ENABLED = True
+_SPARSE_MASKS_ENABLED = True
 
 
 def fused_kernels_enabled() -> bool:
@@ -42,3 +78,27 @@ def use_fused_kernels(enabled: bool):
         yield
     finally:
         set_fused_kernels(previous)
+
+
+def sparse_masks_enabled() -> bool:
+    """Whether mask builders should hand sparse masks to models that
+    support them (see :meth:`ConstraintMaskBuilder.build_for`)."""
+    return _SPARSE_MASKS_ENABLED
+
+
+def set_sparse_masks(enabled: bool) -> bool:
+    """Set the global sparse-mask flag; returns the previous value."""
+    global _SPARSE_MASKS_ENABLED
+    previous = _SPARSE_MASKS_ENABLED
+    _SPARSE_MASKS_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_sparse_masks(enabled: bool):
+    """Context manager scoping the sparse-mask flag."""
+    previous = set_sparse_masks(enabled)
+    try:
+        yield
+    finally:
+        set_sparse_masks(previous)

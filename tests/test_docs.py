@@ -1,0 +1,50 @@
+"""Docs-check: documented commands, paths, and references must resolve.
+
+Runs ``tools/check_docs.py`` (the same script CI or a human can run
+directly) as part of the tier-1 suite, so README.md and
+docs/PERFORMANCE.md cannot drift from the code they describe.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+
+
+def test_docs_exist():
+    assert os.path.exists(os.path.join(REPO_ROOT, "README.md"))
+    assert os.path.exists(os.path.join(REPO_ROOT, "docs", "PERFORMANCE.md"))
+
+
+def test_docs_check_passes():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, CHECKER], capture_output=True, text=True, env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"docs-check failed:\n{result.stdout}\n{result.stderr}"
+    )
+
+
+def test_readme_documents_tier1_command():
+    """The README's verify command must be the ROADMAP's tier-1 command."""
+    with open(os.path.join(REPO_ROOT, "README.md")) as handle:
+        readme = handle.read()
+    assert "python -m pytest -x -q" in readme
+
+
+def test_performance_doc_covers_every_knob():
+    """Each perf knob must be documented by its real, importable name."""
+    with open(os.path.join(REPO_ROOT, "docs", "PERFORMANCE.md")) as handle:
+        perf = handle.read()
+    for knob in ("workers", "use_fused_kernels", "use_sparse_masks",
+                 "set_default_dtype", "clear_batch_cache", "build_for",
+                 "warm"):
+        assert knob in perf, f"PERFORMANCE.md does not document {knob!r}"

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Docs-check: keep README/PERFORMANCE commands from rotting.
+
+Statically verifies every checkable claim in the documentation:
+
+* fenced ``python`` code blocks must compile;
+* ``python <script>`` / ``python -m <module>`` lines in fenced ``bash``
+  blocks must point at an existing script / importable module, and any
+  ``--flags`` they pass must exist in that module's CLI source;
+* ``pytest`` invocations must reference existing test paths and only
+  markers declared in ``pytest.ini``;
+* relative paths mentioned in inline code or links must exist;
+* dotted ``repro.*`` references in inline code must import (and, for
+  ``repro.mod.attr`` forms, resolve the attribute).
+
+Run from the repo root (or let ``tests/test_docs.py`` run it as part
+of the tier-1 suite):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 means every documented command checks out; failures list
+one ``file: problem`` line each.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import re
+import shlex
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC_FILES = ("README.md", os.path.join("docs", "PERFORMANCE.md"))
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_INLINE_CODE = re.compile(r"`([^`\n]+)`")
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_DOTTED = re.compile(r"^repro(\.\w+)+$")
+
+
+def _fenced_blocks(text: str) -> list[tuple[str, str]]:
+    """``(language, body)`` for every fenced code block in ``text``."""
+    blocks: list[tuple[str, str]] = []
+    language, body = None, []
+    for line in text.splitlines():
+        fence = _FENCE.match(line)
+        if fence is not None:
+            if language is None:
+                language, body = fence.group(1) or "", []
+            else:
+                blocks.append((language, "\n".join(body)))
+                language = None
+        elif language is not None:
+            body.append(line)
+    return blocks
+
+
+def _exists(path: str) -> bool:
+    return os.path.exists(os.path.join(REPO_ROOT, path))
+
+
+def _importable(module: str) -> bool:
+    try:
+        importlib.import_module(module)
+        return True
+    except Exception:
+        return False
+
+
+def _declared_markers() -> set[str]:
+    markers = set()
+    try:
+        with open(os.path.join(REPO_ROOT, "pytest.ini")) as handle:
+            in_markers = False
+            for line in handle:
+                if line.strip().startswith("markers"):
+                    in_markers = True
+                    continue
+                if in_markers:
+                    if line[:1].isspace() and line.strip():
+                        markers.add(line.strip().split(":")[0])
+                    else:
+                        in_markers = False
+    except OSError:
+        pass
+    return markers
+
+
+def _cli_flags_exist(module: str, flags: list[str]) -> list[str]:
+    """Flags from ``flags`` that the module's CLI source never mentions."""
+    spec = importlib.util.find_spec(module)
+    if spec is None or not spec.origin or not os.path.exists(spec.origin):
+        return []
+    origin = spec.origin
+    if os.path.basename(origin) == "__init__.py":
+        main = os.path.join(os.path.dirname(origin), "__main__.py")
+        if os.path.exists(main):
+            origin = main
+    with open(origin, encoding="utf-8") as handle:
+        source = handle.read()
+    return [flag for flag in flags if flag not in source]
+
+
+def _check_bash_line(doc: str, line: str, errors: list[str]) -> None:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return
+    try:
+        tokens = shlex.split(line)
+    except ValueError:
+        errors.append(f"{doc}: unparseable command {line!r}")
+        return
+    # Strip leading VAR=value environment assignments.
+    while tokens and "=" in tokens[0] and not tokens[0].startswith("-"):
+        tokens = tokens[1:]
+    if not tokens:
+        return
+    program = tokens[0]
+    if program == "export":
+        return
+    if program in ("python", "python3"):
+        if len(tokens) >= 3 and tokens[1] == "-m":
+            module = tokens[2]
+            if module == "pytest":
+                _check_pytest(doc, tokens[3:], errors)
+                return
+            if not _importable(module):
+                errors.append(f"{doc}: module {module!r} is not importable")
+                return
+            flags = [t for t in tokens[3:] if t.startswith("--")]
+            for missing in _cli_flags_exist(module, flags):
+                errors.append(
+                    f"{doc}: flag {missing!r} not found in {module}'s CLI")
+        elif len(tokens) >= 2 and not tokens[1].startswith("-"):
+            if not _exists(tokens[1]):
+                errors.append(f"{doc}: script {tokens[1]!r} does not exist")
+    elif program == "pytest":
+        _check_pytest(doc, tokens[1:], errors)
+    elif program == "pip":
+        if "-e" in tokens and not _exists("setup.py"):
+            errors.append(f"{doc}: pip -e target has no setup.py")
+
+
+def _check_pytest(doc: str, args: list[str], errors: list[str]) -> None:
+    markers = _declared_markers()
+    expect_marker = False
+    for token in args:
+        if expect_marker:
+            for marker in re.findall(r"\w+", token):
+                if marker not in markers and marker not in ("not", "and", "or"):
+                    errors.append(f"{doc}: pytest marker {marker!r} undeclared")
+            expect_marker = False
+        elif token == "-m":
+            expect_marker = True
+        elif not token.startswith("-") and ("/" in token or token.endswith(".py")):
+            if not _exists(token.split("::")[0]):
+                errors.append(f"{doc}: pytest path {token!r} does not exist")
+
+
+def _check_inline(doc: str, text: str, errors: list[str]) -> None:
+    for match in _INLINE_CODE.finditer(text):
+        code = match.group(1).strip()
+        if _DOTTED.match(code):
+            parts = code.split(".")
+            if _importable(code):
+                continue
+            module, attr = ".".join(parts[:-1]), parts[-1]
+            if not (_importable(module)
+                    and hasattr(importlib.import_module(module), attr)):
+                errors.append(f"{doc}: reference {code!r} does not resolve")
+        elif ("/" in code or code.endswith((".py", ".md", ".json", ".ini"))) \
+                and " " not in code and not code.startswith("-"):
+            if re.fullmatch(r"[\w./-]+", code) and not _exists(code):
+                errors.append(f"{doc}: path {code!r} does not exist")
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if "://" not in target and not _exists(target):
+            errors.append(f"{doc}: link target {target!r} does not exist")
+
+
+def check_docs(doc_files=DOC_FILES) -> list[str]:
+    """All problems found across ``doc_files`` (empty list = clean)."""
+    errors: list[str] = []
+    for doc in doc_files:
+        path = os.path.join(REPO_ROOT, doc)
+        if not os.path.exists(path):
+            errors.append(f"{doc}: documentation file missing")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for language, body in _fenced_blocks(text):
+            if language == "python":
+                try:
+                    compile(body, f"<{doc} python block>", "exec")
+                except SyntaxError as exc:
+                    errors.append(f"{doc}: python block does not compile: {exc}")
+            elif language in ("bash", "sh", "shell", ""):
+                for line in body.splitlines():
+                    _check_bash_line(doc, line, errors)
+        # Strip fences so inline checks do not re-scan block bodies.
+        stripped = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        _check_inline(doc, stripped, errors)
+    return errors
+
+
+def main() -> int:
+    errors = check_docs()
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"docs-check: OK ({', '.join(DOC_FILES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
