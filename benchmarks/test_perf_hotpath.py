@@ -11,6 +11,10 @@ Times the four layers the fused/vectorized refactors target —
 * constraint-mask build + masked log-softmax, dense vs CSR-sparse,
   across growing segment vocabularies (the sparse win scales with
   vocabulary size as density falls),
+* autoregressive recovery decode over a ragged-length workload, the
+  padded full-length loop vs the packed ``DecodeSession`` engine
+  (active-row compaction: decode cost tracks the live rows per step,
+  so the win is the padding fraction of the workload),
 
 and writes the measurements to ``BENCH_hotpath.json`` at the repo root
 so future PRs can track the speed trajectory.  The parallel speedup
@@ -42,8 +46,10 @@ from repro.core import ConstraintMaskBuilder, RecoveryModelConfig
 from repro.core.lte import LTEModel
 from repro.core.training import TrainingConfig
 from repro.data import TrajectoryDataset, geolife_like
+from repro.data.trajectory import MatchedTrajectory
 from repro.federated import FederatedConfig, FederatedTrainer, build_federation
 from repro.nn.tensor import Tensor
+from repro.serving import decode_model
 from repro.spatial import grid_city
 
 pytestmark = pytest.mark.slow
@@ -277,6 +283,61 @@ def _time_sparse_mask() -> dict:
     return {"sizes": sizes, "largest_vocab_speedup": sizes[-1]["speedup"]}
 
 
+#: Ragged trajectory lengths for the decode benchmark (cycled over the
+#: world's 33-point trajectories): mean ~20, so a padded decode wastes
+#: ~40% of its row-steps on finished rows.
+DECODE_LENGTHS = (9, 33, 17, 25, 13, 29, 11, 21)
+
+
+def _time_decode() -> dict:
+    """Packed ``DecodeSession`` vs padded full-length decode.
+
+    A ragged-length recovery workload (the serving shape: requests of
+    uneven lengths batched together), decoded through the same serving
+    entry point with the packed-decode flag on and off.  Outputs are
+    bit-identical on valid steps (asserted); only wall-clock changes.
+    """
+    world, _ = _world()
+    trimmed = [
+        MatchedTrajectory(t.traj_id, t.driver_id, t.epsilon,
+                          t.points[:DECODE_LENGTHS[i % len(DECODE_LENGTHS)]])
+        for i, t in enumerate(world.matched)
+    ]
+    dataset = TrajectoryDataset.from_matched(trimmed, world.grid,
+                                             world.network, keep_ratio=0.25)
+    config = _model_config(world, dataset)
+    model = LTEModel(config, np.random.default_rng(11))
+    model.eval()
+    builder = ConstraintMaskBuilder(world.network, radius=500.0)
+    batch = dataset.full_batch()
+    log_mask = builder.build_for(batch, model)
+
+    def run_packed():
+        with nn.no_grad():
+            return decode_model(model, batch, log_mask)
+
+    def run_padded():
+        with nn.use_packed_decode(False), nn.no_grad():
+            return decode_model(model, batch, log_mask)
+
+    packed_out = run_packed()  # warm caches both ways
+    padded_out = run_padded()
+    valid = batch.tgt_mask
+    assert (packed_out.segments[valid] == padded_out.segments[valid]).all(), \
+        "packed decode must emit the padded decode's segments"
+    timings = {
+        "padded": _best_of(run_padded),
+        "packed": _best_of(run_packed),
+    }
+    lengths = valid.sum(axis=1)
+    timings["speedup"] = timings["padded"] / timings["packed"]
+    timings["rows"] = int(batch.size)
+    timings["max_steps"] = int(batch.steps)
+    timings["mean_length"] = float(lengths.mean())
+    timings["packing_ratio"] = float(lengths.sum() / (batch.size * batch.steps))
+    return timings
+
+
 PARALLEL_WORKERS = 4
 PARALLEL_CLIENTS = 8
 PARALLEL_ROUNDS = 3
@@ -341,12 +402,14 @@ def test_perf_hotpath():
     encoder = _time_encoder()
     epoch = _time_epoch()
     sparse_mask = _time_sparse_mask()
+    decode = _time_decode()
     fed_round = _time_federated_round()
 
     report = {
         "encoder_forward_backward_seconds": encoder,
         "local_epoch_seconds": epoch,
         "sparse_mask_seconds": sparse_mask,
+        "decode_seconds": decode,
         "federated_round_seconds": fed_round,
     }
     with open(BENCH_PATH, "w") as handle:
@@ -365,6 +428,10 @@ def test_perf_hotpath():
     # vocabulary (density falls as the network grows, so the dense
     # build + softmax pays for ever more inactive segments).
     assert sparse_mask["largest_vocab_speedup"] >= 2.0, sparse_mask
+    # Packed decode must beat the padded loop on a ragged workload —
+    # the work ratio is 1/packing_ratio (~1.7 here); the tripwire
+    # leaves slack for per-step engine overhead and timer jitter.
+    assert decode["speedup"] > 1.15, decode
     # Process-pool rounds must scale once there are cores to scale onto
     # (and a start method that can actually run the pool).
     if fed_round["cpus"] >= PARALLEL_WORKERS and fed_round["fork"]:

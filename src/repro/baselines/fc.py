@@ -28,9 +28,11 @@ class FCRecoveryModel(RecoveryModel):
         if num_layers < 1:
             raise ValueError("need at least one FC layer")
         self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.cell_embedding.decode_side = False  # encoder-side (flops walk)
         h = config.hidden_size
         dims = [config.cell_emb_dim + 2] + [h] * num_layers
         self.pool_mlp = nn.MLP(dims, rng, activate_last=True)
+        self.pool_mlp.decode_side = False  # pooled once per sequence
         # Per-step head: pooled context + [step_frac, guide_x, guide_y].
         self.step_mlp = nn.MLP([h + 3, h, h], rng, activate_last=True)
         self.seg_head = nn.Linear(h, config.num_segments, rng, bias=False)

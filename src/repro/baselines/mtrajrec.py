@@ -18,6 +18,7 @@ import numpy as np
 from .. import nn
 from ..core.base import ModelOutput, RecoveryModel, RecoveryModelConfig
 from ..data.dataset import Batch
+from ..serving.programs import AttnDecodeProgram
 
 __all__ = ["MTrajRecModel"]
 
@@ -29,6 +30,7 @@ class MTrajRecModel(RecoveryModel):
         super().__init__(config)
         h = config.hidden_size
         self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.cell_embedding.decode_side = False  # encoder-side (flops walk)
         self.encoder = nn.GRU(config.cell_emb_dim + 2, h, rng)
         self.attention = nn.AdditiveAttention(h, rng)
         self.seg_embedding = nn.Embedding(config.num_segments, config.seg_emb_dim, rng)
@@ -39,14 +41,34 @@ class MTrajRecModel(RecoveryModel):
         self.emb_proj = nn.Linear(config.seg_emb_dim, h, rng)
         self.ratio_head = nn.Linear(h + config.seg_emb_dim, 1, rng)
 
+    def decode_program(self, batch: Batch, log_mask) -> AttnDecodeProgram:
+        """Serving-engine adapter: attention + GRU + MT head on raw arrays."""
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        encoder_states, h = self._encode(batch)
+        return AttnDecodeProgram(
+            self.seg_embedding.weight.data, self.attention, self.decoder_cell,
+            self.dense_d, self.seg_head, self.emb_proj, self.ratio_head,
+            h.data, encoder_states.data, batch.obs_mask,
+            self._step_extras(batch), log_mask,
+        )
+
+    def _encode(self, batch: Batch):
+        emb = self.cell_embedding(batch.obs_cells)
+        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
+        return self.encoder(x, mask=batch.obs_mask)  # (B, To, H), (B, H)
+
     def forward(self, batch: Batch, log_mask: np.ndarray,
                 teacher_forcing: bool = True) -> ModelOutput:
+        if not teacher_forcing:
+            # Inference rides the shared decode engine (tape-free); the
+            # per-step loop below is the reference it is tested against.
+            packed = self._packed_inference(batch, log_mask)
+            if packed is not None:
+                return packed
         self._validate_mask(log_mask, batch, self.config.num_segments)
         b, t = batch.tgt_segments.shape
 
-        emb = self.cell_embedding(batch.obs_cells)
-        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
-        encoder_states, h = self.encoder(x, mask=batch.obs_mask)  # (B, To, H), (B, H)
+        encoder_states, h = self._encode(batch)
 
         guide = self._normalise_guides(batch.guide_xy)
         prev_segments = batch.tgt_segments[:, 0].copy()

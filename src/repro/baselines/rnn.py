@@ -14,6 +14,7 @@ import numpy as np
 from .. import nn
 from ..core.base import ModelOutput, RecoveryModel, RecoveryModelConfig
 from ..data.dataset import Batch
+from ..serving.programs import StackedRNNDecodeProgram
 
 __all__ = ["RNNRecoveryModel"]
 
@@ -25,6 +26,7 @@ class RNNRecoveryModel(RecoveryModel):
         super().__init__(config)
         h = config.hidden_size
         self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.cell_embedding.decode_side = False  # encoder-side (flops walk)
         self.encoder = nn.RNN(config.cell_emb_dim + 2, h, rng)
         self.seg_embedding = nn.Embedding(config.num_segments, config.seg_emb_dim, rng)
         step_input = config.seg_emb_dim + 1 + 4  # prev emb + prev ratio + extras
@@ -35,14 +37,32 @@ class RNNRecoveryModel(RecoveryModel):
         self.seg_head = nn.Linear(h, config.num_segments, rng, bias=False)
         self.ratio_head = nn.Linear(h, 1, rng)
 
+    def decode_program(self, batch: Batch, log_mask) -> StackedRNNDecodeProgram:
+        """Serving-engine adapter: stacked-cell decode on raw arrays."""
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        _, h = self._encode(batch)
+        return StackedRNNDecodeProgram(
+            self.seg_embedding.weight.data, self.cells, self.seg_head,
+            self.ratio_head, h.data, self._step_extras(batch), log_mask,
+        )
+
+    def _encode(self, batch: Batch):
+        emb = self.cell_embedding(batch.obs_cells)
+        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
+        return self.encoder(x, mask=batch.obs_mask)
+
     def forward(self, batch: Batch, log_mask: np.ndarray,
                 teacher_forcing: bool = True) -> ModelOutput:
+        if not teacher_forcing:
+            # Inference rides the shared decode engine (tape-free); the
+            # per-step loop below is the reference it is tested against.
+            packed = self._packed_inference(batch, log_mask)
+            if packed is not None:
+                return packed
         self._validate_mask(log_mask, batch, self.config.num_segments)
         b, t = batch.tgt_segments.shape
 
-        emb = self.cell_embedding(batch.obs_cells)
-        x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
-        _, h = self.encoder(x, mask=batch.obs_mask)
+        _, h = self._encode(batch)
         states = [h for _ in range(len(self.cells))]
 
         guide = self._normalise_guides(batch.guide_xy)

@@ -16,6 +16,7 @@ import numpy as np
 from .. import nn
 from ..core.base import ModelOutput, RecoveryModel, RecoveryModelConfig
 from ..data.dataset import Batch
+from ..serving.programs import AttnDecodeProgram
 from ..spatial.roadnet import RoadNetwork
 
 __all__ = ["RNTrajRecModel", "segment_adjacency"]
@@ -65,7 +66,9 @@ class RNTrajRecModel(RecoveryModel):
         h = config.hidden_size
         adjacency = segment_adjacency(network)
         self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.cell_embedding.decode_side = False  # encoder-side (flops walk)
         self.input_proj = nn.Linear(config.cell_emb_dim + 2, h, rng)
+        self.input_proj.decode_side = False
         self.attn_blocks = nn.ModuleList(
             [nn.SelfAttention(h, rng) for _ in range(num_attention_blocks)]
         )
@@ -76,6 +79,9 @@ class RNTrajRecModel(RecoveryModel):
             [GraphConv(adjacency, config.seg_emb_dim, config.seg_emb_dim, rng)
              for _ in range(num_gcn_layers)]
         )
+        # The GCN refinement runs once per decode session (the table is
+        # constant while decoding), not once per emitted point.
+        self.gcn_layers.decode_side = False
         self.attention = nn.AdditiveAttention(h, rng)
         step_input = config.seg_emb_dim + 1 + 4 + h
         self.decoder_cell = nn.GRUCell(step_input, h, rng)
@@ -92,16 +98,38 @@ class RNTrajRecModel(RecoveryModel):
             out = layer(out)
         return out
 
-    def forward(self, batch: Batch, log_mask: np.ndarray,
-                teacher_forcing: bool = True) -> ModelOutput:
+    def decode_program(self, batch: Batch, log_mask) -> AttnDecodeProgram:
+        """Serving-engine adapter: same decode shape as MTrajRec, but
+        feeding back the GCN-refined segment-embedding table (computed
+        once per session — it is constant during decoding)."""
         self._validate_mask(log_mask, batch, self.config.num_segments)
-        b, t = batch.tgt_segments.shape
+        encoder_states, h = self._encode(batch)
+        return AttnDecodeProgram(
+            self.refined_segment_embeddings().data, self.attention,
+            self.decoder_cell, self.dense_d, self.seg_head, self.emb_proj,
+            self.ratio_head, h.data, encoder_states.data, batch.obs_mask,
+            self._step_extras(batch), log_mask,
+        )
 
+    def _encode(self, batch: Batch):
         emb = self.cell_embedding(batch.obs_cells)
         x = self.input_proj(nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1))
         for block in self.attn_blocks:
             x = block(x)
-        encoder_states, h = self.encoder(x, mask=batch.obs_mask)
+        return self.encoder(x, mask=batch.obs_mask)
+
+    def forward(self, batch: Batch, log_mask: np.ndarray,
+                teacher_forcing: bool = True) -> ModelOutput:
+        if not teacher_forcing:
+            # Inference rides the shared decode engine (tape-free); the
+            # per-step loop below is the reference it is tested against.
+            packed = self._packed_inference(batch, log_mask)
+            if packed is not None:
+                return packed
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        b, t = batch.tgt_segments.shape
+
+        encoder_states, h = self._encode(batch)
 
         seg_table = self.refined_segment_embeddings()  # (S, E)
         guide = self._normalise_guides(batch.guide_xy)

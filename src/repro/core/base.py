@@ -20,6 +20,7 @@ import numpy as np
 from .. import nn
 from ..data.dataset import Batch
 from ..nn.tensor import Tensor
+from ..serving.engine import DecodeSession
 
 __all__ = ["ModelOutput", "RecoveryModel", "RecoveryModelConfig"]
 
@@ -84,6 +85,40 @@ class RecoveryModel(nn.Module):
                 teacher_forcing: bool = True) -> ModelOutput:
         raise NotImplementedError
 
+    def decode_program(self, batch: Batch, log_mask):
+        """A decode program for the serving engine, or ``None``.
+
+        Autoregressive models return an adapter implementing the
+        :class:`~repro.serving.DecodeSession` protocol (built on their
+        raw-array step kernels); ``None`` means the model has no packed
+        decode path and serving call sites fall back to the padded
+        ``forward(..., teacher_forcing=False)`` decode.  Callers run
+        under ``no_grad`` with the model in eval mode.
+        """
+        return None
+
+    def _packed_inference(self, batch: Batch, log_mask) -> ModelOutput | None:
+        """Engine-driven full-length inference decode, or ``None``.
+
+        The shared tape-free decode loop models call from
+        ``forward(teacher_forcing=False)``: builds the decode program
+        and steps it through one :class:`~repro.serving.DecodeSession`
+        over the full padded horizon (no compaction), which reproduces
+        the padded per-step loops bit-for-bit while skipping all tape
+        bookkeeping.  Returns ``None`` when gradients are being
+        recorded or the model has no program — callers then take their
+        per-step reference loop.
+        """
+        if nn.is_grad_enabled() or not nn.packed_decode_enabled():
+            return None
+        program = self.decode_program(batch, log_mask)
+        if program is None:
+            return None
+        result = DecodeSession().run(program, batch)
+        return ModelOutput(log_probs=nn.Tensor(result.log_probs),
+                           ratios=nn.Tensor(result.ratios),
+                           segments=result.segments)
+
     # ------------------------------------------------------------------
     # loss (paper Eq. 13-15)
     # ------------------------------------------------------------------
@@ -107,6 +142,26 @@ class RecoveryModel(nn.Module):
     # ------------------------------------------------------------------
     # helpers shared by subclasses
     # ------------------------------------------------------------------
+    def _step_extras(self, batch: Batch) -> np.ndarray:
+        """Auxiliary decode inputs for every step: ``(B, T, 4)``.
+
+        Per step: the step fraction, the normalised guide position, and
+        the observed flag — the features every autoregressive decoder
+        in the repo concatenates into its step input (bitwise equal to
+        building them one step at a time).
+        """
+        b, t = batch.tgt_segments.shape
+        guide = self._normalise_guides(batch.guide_xy)
+        fractions = np.arange(t, dtype=np.float64) / max(1, t - 1)
+        return np.concatenate(
+            [
+                np.broadcast_to(fractions[None, :, None], (b, t, 1)),
+                guide,
+                batch.observed_flags[..., None].astype(np.float64),
+            ],
+            axis=-1,
+        )
+
     def _normalise_guides(self, guide_xy: np.ndarray) -> np.ndarray:
         """Map guide positions into roughly [-1, 1] model coordinates."""
         min_x, min_y, max_x, max_y = self.config.bbox

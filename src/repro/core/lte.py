@@ -21,6 +21,8 @@ import numpy as np
 from .. import nn
 from ..data.dataset import Batch
 from ..nn.tensor import Tensor
+from ..serving.engine import DecodeSession
+from ..serving.programs import STDecodeProgram
 from .base import ModelOutput, RecoveryModel, RecoveryModelConfig
 from .mask import SparseConstraintMask
 from .st_block import LightweightSTOperator
@@ -44,6 +46,7 @@ class LTEModel(RecoveryModel):
     def __init__(self, config: RecoveryModelConfig, rng: np.random.Generator):
         super().__init__(config)
         self.cell_embedding = nn.Embedding(config.num_cells, config.cell_emb_dim, rng)
+        self.cell_embedding.decode_side = False  # encoder-side (flops walk)
         self.embed_dropout = nn.Dropout(config.dropout, rng) if config.dropout else None
         encoder_cls = {"gru": nn.GRU, "lstm": nn.LSTM, "rnn": nn.RNN}[config.encoder]
         self.encoder = encoder_cls(config.cell_emb_dim + 2, config.hidden_size, rng)
@@ -64,24 +67,6 @@ class LTEModel(RecoveryModel):
         x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
         _, h = self.encoder(x, mask=batch.obs_mask)
         return h
-
-    def _step_extras(self, batch: Batch) -> np.ndarray:
-        """Auxiliary decode inputs for every step: ``(B, T, 4)``.
-
-        Per step: the step fraction, the normalised guide position, and
-        the observed flag.
-        """
-        b, t = batch.tgt_segments.shape
-        guide = self._normalise_guides(batch.guide_xy)
-        fractions = np.arange(t, dtype=np.float64) / max(1, t - 1)
-        return np.concatenate(
-            [
-                np.broadcast_to(fractions[None, :, None], (b, t, 1)),
-                guide,
-                batch.observed_flags[..., None].astype(np.float64),
-            ],
-            axis=-1,
-        )
 
     def forward(self, batch: Batch, log_mask: np.ndarray,
                 teacher_forcing: bool = True) -> ModelOutput:
@@ -143,35 +128,34 @@ class LTEModel(RecoveryModel):
         )
         return ModelOutput(log_probs=log_probs, ratios=ratios, segments=segments)
 
+    def decode_program(self, batch: Batch, log_mask) -> STDecodeProgram | None:
+        """The serving engine's adapter over the ST-operator step kernels.
+
+        Consumes dense or CSR-sparse constraint masks natively.  The
+        per-step reference path (fusion disabled) has no program — the
+        serving layer then falls back to the padded tape decode.
+        """
+        if not nn.fused_kernels_enabled():
+            return None
+        self._validate_mask(log_mask, batch, self.config.num_segments)
+        h = self.encode(batch)
+        return STDecodeProgram(self.st_operator, h.data,
+                               self._step_extras(batch), log_mask)
+
     def _forward_inference_fused(self, batch: Batch, log_mask: np.ndarray,
                                  h: Tensor, extras: np.ndarray) -> ModelOutput:
-        """Tape-free autoregressive decode (predictions feed back)."""
-        b, t = batch.tgt_segments.shape
-        states = [h.data for _ in range(self.st_operator.num_blocks)]
-        prev_segments = batch.tgt_segments[:, 0].copy()
-        prev_ratios = batch.tgt_ratios[:, 0].copy()
-        log_probs = np.empty((b, t, self.config.num_segments))
-        ratios = np.empty((b, t))
-        segments = np.empty((b, t), dtype=np.int64)
-        sparse = isinstance(log_mask, SparseConstraintMask)
-        for step in range(t):
-            mask_t = log_mask.step(step) if sparse else log_mask[:, step, :]
-            states, step_logs, step_segments, step_ratios = (
-                self.st_operator.step_inference(
-                    states, prev_segments, prev_ratios, extras[:, step],
-                    mask_t,
-                )
-            )
-            log_probs[:, step] = step_logs
-            segments[:, step] = step_segments
-            ratios[:, step] = step_ratios
-            observed = batch.observed_flags[:, step]
-            prev_segments = np.where(observed, batch.tgt_segments[:, step],
-                                     step_segments)
-            prev_ratios = np.where(observed, batch.tgt_ratios[:, step],
-                                   np.clip(step_ratios, 0.0, 1.0))
-        return ModelOutput(log_probs=nn.Tensor(log_probs),
-                           ratios=nn.Tensor(ratios), segments=segments)
+        """Tape-free autoregressive decode (predictions feed back).
+
+        One :class:`~repro.serving.DecodeSession` run over the full
+        padded horizon — the same engine the serving layer drives with
+        ragged lengths, here with no compaction so the output covers
+        every ``(B, T)`` position like the tape paths do.
+        """
+        program = STDecodeProgram(self.st_operator, h.data, extras, log_mask)
+        result = DecodeSession().run(program, batch)
+        return ModelOutput(log_probs=nn.Tensor(result.log_probs),
+                           ratios=nn.Tensor(result.ratios),
+                           segments=result.segments)
 
     def _forward_stepwise(self, batch: Batch, log_mask: np.ndarray, h: Tensor,
                           extras: np.ndarray, teacher_forcing: bool

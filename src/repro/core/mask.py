@@ -132,20 +132,31 @@ class SparseConstraintMask:
         dense_size = self.n_rows * self.shape[-1]
         return self.nnz / dense_size if dense_size else 0.0
 
-    def step(self, t: int) -> "SparseConstraintMask":
+    def step(self, t: int,
+             rows: np.ndarray | None = None) -> "SparseConstraintMask":
         """The ``(B, S)`` sub-mask of decode step ``t`` of a ``(B, T, S)``
-        mask (used by the autoregressive inference loop)."""
+        mask (used by the autoregressive inference loops).
+
+        ``rows`` restricts the slice to the given batch-row indices (in
+        order), yielding an ``(len(rows), S)`` mask — this is how the
+        :class:`~repro.serving.DecodeSession` engine slices masks over
+        its compacted working set of still-active trajectories.
+        """
         if len(self.shape) != 3:
             raise ValueError(f"step() needs a (B, T, S) mask, got {self.shape}")
         b, steps, s = self.shape
         if not 0 <= t < steps:
             raise IndexError(f"step {t} out of range for {steps} timesteps")
+        if rows is None:
+            rows = np.arange(b, dtype=np.int64)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
         if self.identity:
-            return SparseConstraintMask.identity_mask((b, s))
-        rows = np.arange(b, dtype=np.int64) * steps + t
-        lens = self.indptr[rows + 1] - self.indptr[rows]
-        indptr, pos = _gather_csr(self.indptr[rows], lens)
-        return SparseConstraintMask((b, s), indptr, self.indices[pos],
+            return SparseConstraintMask.identity_mask((rows.size, s))
+        flat_rows = rows * steps + t
+        lens = self.indptr[flat_rows + 1] - self.indptr[flat_rows]
+        indptr, pos = _gather_csr(self.indptr[flat_rows], lens)
+        return SparseConstraintMask((rows.size, s), indptr, self.indices[pos],
                                     self.log_values[pos], floor=self.floor)
 
     def to_dense(self) -> np.ndarray:

@@ -15,6 +15,7 @@ import numpy as np
 from .. import nn
 from ..data.dataset import Batch, TrajectoryDataset
 from ..data.trajectory import MatchedPoint, MatchedTrajectory
+from ..serving import decode_model
 from .base import RecoveryModel
 from .mask import ConstraintMaskBuilder
 
@@ -42,28 +43,45 @@ class TrajectoryRecovery:
         self.model = model
         self.mask_builder = mask_builder
 
-    def predict_batch(self, batch: Batch) -> tuple[np.ndarray, np.ndarray]:
+    def predict_batch(self, batch: Batch, decode_batch: int | None = None
+                      ) -> tuple[np.ndarray, np.ndarray]:
         """Predicted ``(segments, ratios)`` arrays of shape ``(B, T)``.
 
         Observed steps are clamped to their ground-truth (observed)
-        values; ratios are clipped to [0, 1].
+        values; ratios are clipped to [0, 1].  Inference runs through
+        the packed decode engine (:mod:`repro.serving`) — each row is
+        decoded only to its true length, stepped ``decode_batch``
+        trajectories at a time (``None`` = all at once).
         """
         log_mask = self.mask_builder.build_for(batch, self.model)
         self.model.eval()
         with nn.no_grad():
-            output = self.model(batch, log_mask, teacher_forcing=False)
+            output = decode_model(self.model, batch, log_mask,
+                                  decode_batch=decode_batch)
         segments = np.where(batch.observed_flags, batch.tgt_segments, output.segments)
         ratios = np.where(batch.observed_flags, batch.tgt_ratios,
                           np.clip(output.ratios.data, 0.0, 1.0))
         return segments.astype(np.int64), ratios
 
     def recover_dataset(self, dataset: TrajectoryDataset,
-                        epsilon: float = 15.0) -> list[RecoveredTrajectory]:
-        """Recover every trajectory in ``dataset``."""
+                        epsilon: float = 15.0,
+                        decode_batch: int | None = None
+                        ) -> list[RecoveredTrajectory]:
+        """Recover every trajectory in ``dataset``.
+
+        The whole dataset is collated once through the memoised
+        :meth:`TrajectoryDataset.full_batch` path (repeated recovery
+        passes — every round of a serving loop — never re-pad), and
+        ``decode_batch`` bounds the packed decode working set inside
+        that one batch.  Chunking the *decode* rather than the
+        collation keeps the step-feature geometry (which depends on the
+        batch's padded width) identical under any ``decode_batch``, so
+        the knob trades memory, not results.
+        """
         if len(dataset) == 0:
             return []
         batch = dataset.full_batch()
-        segments, ratios = self.predict_batch(batch)
+        segments, ratios = self.predict_batch(batch, decode_batch=decode_batch)
         results = []
         for i, example in enumerate(dataset.examples):
             n = example.full_length

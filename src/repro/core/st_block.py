@@ -178,21 +178,22 @@ class LightweightSTOperator(nn.Module):
         ratios = self.ratio_head(nn.concat([h_e, seg_emb], axis=-1)).relu()
         return log_probs, ratios.reshape(batch, steps), segments
 
-    def step_inference(self, hidden_states: list[np.ndarray],
-                       prev_segments: np.ndarray, prev_ratios: np.ndarray,
-                       extras: np.ndarray, log_mask_t: np.ndarray
-                       ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray,
-                                  np.ndarray]:
-        """One decoding step on raw arrays (no tape): the inference path.
+    def step_advance(self, hidden_states: list[np.ndarray],
+                     prev_segments: np.ndarray, prev_ratios: np.ndarray,
+                     extras: np.ndarray, log_mask_t: np.ndarray
+                     ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+        """Advance the recurrent state one step and score the vocabulary.
 
-        Mirrors :meth:`step` operation by operation but skips all tape
-        bookkeeping, which dominates the cost of autoregressive decoding
-        under ``no_grad``.  ``log_mask_t`` is either a dense ``(B, S)``
-        array or a per-step ``(B, S)`` sparse mask (from
+        The first half of a tape-free decode step (compacted-state step
+        API): runs the stacked cells and the segment head over whatever
+        subset of batch rows ``hidden_states`` holds, without choosing a
+        segment — that is the emission policy's job
+        (:mod:`repro.serving`).  ``log_mask_t`` is either a dense
+        ``(B, S)`` array or a per-step ``(B, S)`` sparse mask (from
         :meth:`SparseConstraintMask.step`), in which case the masked
         log-softmax runs over active indices only.  Returns
-        ``(next_states, log_probs, segments, ratios)`` as plain NumPy
-        arrays.
+        ``(next_states, h_d, log_probs)``; feed ``h_d`` and the chosen
+        segments to :meth:`step_emit` for the moving ratios.
         """
         emb_w = self.seg_embedding.weight.data
         x = np.concatenate(
@@ -214,19 +215,28 @@ class LightweightSTOperator(nn.Module):
                 np.exp(shifted).sum(axis=-1, keepdims=True))
         else:
             log_probs = nn.sparse_masked_log_probs(logits, log_mask_t)
-        segments = np.argmax(log_probs, axis=-1).astype(np.int64)
+        return next_states, h_d, log_probs
 
+    def step_emit(self, h_d: np.ndarray, segments: np.ndarray) -> np.ndarray:
+        """Moving ratios for the chosen ``segments`` (second half of a
+        tape-free decode step; Eq. 8's Emb enrichment on raw arrays).
+
+        The single-output ratio head goes through
+        :func:`repro.nn.row_dot` so its bits do not depend on how many
+        rows the decode engine's working set currently holds.
+        """
+        emb_w = self.seg_embedding.weight.data
         seg_emb = emb_w[segments]
         h_e = np.maximum(
             h_d + seg_emb @ self.emb_proj.weight.data + self.emb_proj.bias.data,
             0.0,
         )
-        ratios = np.maximum(
-            np.concatenate([h_e, seg_emb], axis=1) @ self.ratio_head.weight.data
+        return np.maximum(
+            nn.row_dot(np.concatenate([h_e, seg_emb], axis=1),
+                       self.ratio_head.weight.data)
             + self.ratio_head.bias.data,
             0.0,
-        ).reshape(-1)
-        return next_states, log_probs, segments, ratios
+        )
 
     def initial_states(self, encoder_state: Tensor) -> list[Tensor]:
         """Per-block initial recurrent states seeded by the encoder."""

@@ -15,6 +15,7 @@ import numpy as np
 
 from .. import nn
 from ..data.dataset import Batch, TrajectoryDataset
+from ..serving import decode_model
 from .base import ModelOutput, RecoveryModel
 from .mask import ConstraintMaskBuilder
 
@@ -97,14 +98,19 @@ class LocalTrainer:
 
 def model_segment_accuracy(model: RecoveryModel, mask_builder: ConstraintMaskBuilder,
                            dataset: TrajectoryDataset) -> float:
-    """Segment accuracy of ``model`` over the missing points of ``dataset``."""
+    """Segment accuracy of ``model`` over the missing points of ``dataset``.
+
+    Runs through the packed decode engine (:mod:`repro.serving`) —
+    this is the eval hook inside the federated loop's accuracy gates,
+    so it is as hot as training itself.
+    """
     if len(dataset) == 0:
         raise ValueError("cannot evaluate on an empty dataset")
     model.eval()
     batch = dataset.full_batch()
     log_mask = mask_builder.build_for(batch, model)
     with nn.no_grad():
-        output = model(batch, log_mask, teacher_forcing=False)
+        output = decode_model(model, batch, log_mask)
     model.train()
     return evaluate_output_accuracy(output, batch)
 

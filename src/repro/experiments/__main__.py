@@ -101,11 +101,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="run each federated round's clients in N worker "
                              "processes (results are identical; default: the "
                              "scale's setting, 0 = serial)")
+    parser.add_argument("--decode-batch", type=int, default=None, metavar="N",
+                        help="cap the packed-decode working set at N "
+                             "trajectories during evaluation (results are "
+                             "identical; default: the scale's setting, "
+                             "0 = unbounded)")
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
     if args.workers is not None:
         scale = dataclasses.replace(scale, workers=args.workers)
+    if args.decode_batch is not None:
+        scale = dataclasses.replace(scale, decode_batch=args.decode_batch)
     context = ExperimentContext(scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

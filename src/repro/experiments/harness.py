@@ -59,6 +59,7 @@ class ExperimentScale:
     mask_radius: float = 500.0
     seed: int = 7
     workers: int = 0  # > 0: process-pool round runner (identical results)
+    decode_batch: int = 0  # > 0: bound the packed-decode working set
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -194,12 +195,16 @@ class ExperimentContext:
                    lt: float = 0.4, rounds: int | None = None,
                    isolated: bool = False, mask_identity: bool = False,
                    dynamic_lambda: bool = True,
-                   workers: int | None = None) -> MethodRun:
+                   workers: int | None = None,
+                   decode_batch: int | None = None) -> MethodRun:
         """Train ``method`` federated and evaluate on the pooled test set.
 
         ``workers`` (default: the scale's setting) runs each round's
         selected clients in that many worker processes; results are
         bit-identical to the serial run, only wall-clock changes.
+        ``decode_batch`` (default: the scale's setting; 0 = unbounded)
+        caps how many trajectories the evaluation's packed decode steps
+        together — a memory knob, not an accuracy knob.
         """
         clients, global_test = self.federation(dataset_name, keep_ratio, num_clients)
         config = self.model_config(dataset_name)
@@ -222,7 +227,10 @@ class ExperimentContext:
             result = FederatedTrainer(factory, clients, mask, fed_config,
                                       global_test, seed=self.scale.seed).run()
         elapsed = time.perf_counter() - start
-        row = evaluate_model(result.global_model, mask, global_test)
+        if decode_batch is None:
+            decode_batch = self.scale.decode_batch
+        row = evaluate_model(result.global_model, mask, global_test,
+                             decode_batch=decode_batch or None)
         return MethodRun(
             method=method, dataset=dataset_name, keep_ratio=keep_ratio,
             metrics=row, elapsed_seconds=elapsed,

@@ -30,9 +30,11 @@ round histories and final global parameters:
   state, flat Adam/SGD moments), so results do not depend on which
   worker executes which client, or on pool scheduling;
 * tasks also re-assert the process-global switches inside the worker —
-  the kernel-fusion flag, the sparse-constraint-mask flag, and the
-  exchange dtype — so both sides run the same kernels over the same
-  mask representation at the same precision;
+  the kernel-fusion flag, the sparse-constraint-mask flag, the
+  packed-decode flag (the accuracy gates of Algorithm 2 run inference
+  through :mod:`repro.serving`), and the exchange dtype — so both sides
+  run the same kernels over the same mask representation at the same
+  precision;
 * the trainer submits tasks in ascending client-id order and the
   runners return results in task order, so aggregation order never
   depends on completion order.
@@ -42,7 +44,7 @@ RoundTask shipping contract
 A :class:`RoundTask` must stay cheap to pickle and self-sufficient: the
 flat ``(P,)`` global vector, the client id, the local epoch count, the
 frozen teacher's flat state (or ``None``), the client's session
-snapshot (or ``None`` for in-process execution), and the three global
+snapshot (or ``None`` for in-process execution), and the four global
 switches above.  Heavy, rebuildable objects never ride on tasks — the
 datasets, road network, and constraint-mask builder travel once in the
 :class:`WorkerSetup` (the builder pickles *cache-free*: its sparse row
@@ -123,6 +125,7 @@ class RoundTask:
     session: ClientSessionState | None  # None = run on live client state
     fused_kernels: bool = True
     sparse_masks: bool = True
+    packed_decode: bool = True
     exchange_dtype: str = "float64"
 
 
@@ -248,6 +251,7 @@ class _WorkerState:
         # identical wire precision.
         nn.set_fused_kernels(task.fused_kernels)
         nn.set_sparse_masks(task.sparse_masks)
+        nn.set_packed_decode(task.packed_decode)
         nn.set_default_dtype(task.exchange_dtype)
         client = self._client(task.client_id)
         if task.session is not None:

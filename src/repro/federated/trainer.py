@@ -290,6 +290,7 @@ class FederatedTrainer:
                          if runner.ships_state else None),
                 fused_kernels=nn.fused_kernels_enabled(),
                 sparse_masks=nn.sparse_masks_enabled(),
+                packed_decode=nn.packed_decode_enabled(),
                 exchange_dtype=nn.get_default_dtype().name,
             )
             for client_id in selected  # ascending: fixes aggregation order

@@ -1,10 +1,12 @@
 """Efficiency accounting: running time, FLOPs, parameters (Figure 5).
 
 Wall-clock epoch time is measured on the actual trainer; FLOPs and
-parameter counts come from the analytic model in :mod:`repro.nn.flops`.
-Communication cost per round follows from the parameter payload (the
-paper notes communication cost is positively correlated with parameters
-and FLOPs).
+parameter counts come from the analytic model in :mod:`repro.nn.flops`
+— both the training-side forward cost and the serving-side
+autoregressive decode cost (``decode_flops``), so inference cost is
+reported alongside training cost.  Communication cost per round
+follows from the parameter payload (the paper notes communication cost
+is positively correlated with parameters and FLOPs).
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from dataclasses import dataclass
 from ..core.base import RecoveryModel
 from ..core.training import LocalTrainer
 from ..data.dataset import TrajectoryDataset
-from ..nn.flops import count_parameters, estimate_flops
+from ..nn.flops import count_parameters, estimate_decode_flops, estimate_flops
 from ..nn.serialization import state_dict_num_bytes
 
 __all__ = ["EfficiencyReport", "profile_model", "measure_epoch_seconds"]
@@ -30,6 +32,7 @@ class EfficiencyReport:
     flops: float
     epoch_seconds: float
     payload_bytes: int
+    decode_flops: float = 0.0  # autoregressive recovery of one sequence
 
     @property
     def parameters_m(self) -> float:
@@ -41,9 +44,16 @@ class EfficiencyReport:
         """FLOPs in millions (Figure 5b left axis)."""
         return self.flops / 1e6
 
+    @property
+    def decode_flops_m(self) -> float:
+        """Decode (inference) FLOPs in millions per recovered sequence."""
+        return self.decode_flops / 1e6
+
     def __str__(self) -> str:
         return (f"{self.name}: {self.epoch_seconds:.3f}s/epoch, "
-                f"{self.flops_m:.3f}M FLOPs, {self.parameters_m:.4f}M params, "
+                f"{self.flops_m:.3f}M FLOPs, "
+                f"{self.decode_flops_m:.3f}M decode FLOPs, "
+                f"{self.parameters_m:.4f}M params, "
                 f"{self.payload_bytes / 1024:.1f} KiB/round")
 
 
@@ -72,4 +82,5 @@ def profile_model(name: str, model: RecoveryModel, trainer: LocalTrainer,
         flops=estimate_flops(model, seq_len=seq_len),
         epoch_seconds=seconds,
         payload_bytes=state_dict_num_bytes(model.state_dict()),
+        decode_flops=estimate_decode_flops(model, seq_len=seq_len),
     )

@@ -15,6 +15,7 @@ from .. import nn
 from ..core.base import RecoveryModel
 from ..core.mask import ConstraintMaskBuilder
 from ..data.dataset import TrajectoryDataset
+from ..serving import decode_model
 from .accuracy import pointwise_accuracy, recall_precision
 from .distance import mae_rmse
 
@@ -47,15 +48,24 @@ class MetricRow:
 
 
 def evaluate_model(model: RecoveryModel, mask_builder: ConstraintMaskBuilder,
-                   dataset: TrajectoryDataset, unit: str = "km") -> MetricRow:
-    """Run inference and compute all metrics over missing points."""
+                   dataset: TrajectoryDataset, unit: str = "km",
+                   decode_batch: int | None = None) -> MetricRow:
+    """Run inference and compute all metrics over missing points.
+
+    Inference goes through the packed decode engine
+    (:mod:`repro.serving`): trajectories decode to their true lengths,
+    ``decode_batch`` at a time (``None`` = the whole dataset as one
+    working set).  Metrics only read valid missing steps, where packed
+    output matches the padded decode bit-for-bit.
+    """
     if len(dataset) == 0:
         raise ValueError("cannot evaluate on an empty dataset")
     batch = dataset.full_batch()
     log_mask = mask_builder.build_for(batch, model)
     model.eval()
     with nn.no_grad():
-        output = model(batch, log_mask, teacher_forcing=False)
+        output = decode_model(model, batch, log_mask,
+                              decode_batch=decode_batch)
     model.train()
 
     eval_mask = batch.tgt_mask & ~batch.observed_flags
@@ -71,15 +81,18 @@ def evaluate_model(model: RecoveryModel, mask_builder: ConstraintMaskBuilder,
 
 def evaluate_per_client(model: RecoveryModel, mask_builder: ConstraintMaskBuilder,
                         client_datasets: list[TrajectoryDataset],
-                        unit: str = "km") -> list[MetricRow]:
+                        unit: str = "km",
+                        decode_batch: int | None = None) -> list[MetricRow]:
     """Evaluate one (global) model on each client's local data.
 
     The per-client spread quantifies how well a single global model
     serves Non-IID clients - the heterogeneity the meta-knowledge
     module targets.  Clients with empty datasets are skipped by the
-    caller; passing one raises.
+    caller; passing one raises.  ``decode_batch`` bounds each client's
+    packed decode working set (see :func:`evaluate_model`).
     """
-    return [evaluate_model(model, mask_builder, dataset, unit=unit)
+    return [evaluate_model(model, mask_builder, dataset, unit=unit,
+                           decode_batch=decode_batch)
             for dataset in client_datasets]
 
 

@@ -22,13 +22,21 @@ equivalence tests; both paths produce matching outputs and gradients
 from .attention import AdditiveAttention, SelfAttention, scaled_dot_product_attention
 from .dtypes import get_default_dtype, set_default_dtype, use_default_dtype
 from .flatten import FlatLayout, FlatParameterSpace
-from .flops import CostReport, count_parameters, estimate_flops, st_operator_complexity
+from .flops import (
+    CostReport,
+    count_parameters,
+    estimate_decode_flops,
+    estimate_decode_step_flops,
+    estimate_flops,
+    st_operator_complexity,
+)
 from .functional import (
     addmm,
     concat,
     dropout,
     embedding_lookup,
     gather_rows,
+    row_dot,
     log_softmax,
     masked_log_softmax,
     pad_sequences,
@@ -39,10 +47,13 @@ from .functional import (
 )
 from .fusion import (
     fused_kernels_enabled,
+    packed_decode_enabled,
     set_fused_kernels,
+    set_packed_decode,
     set_sparse_masks,
     sparse_masks_enabled,
     use_fused_kernels,
+    use_packed_decode,
     use_sparse_masks,
 )
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, ReLU, Sigmoid, Tanh
@@ -69,7 +80,7 @@ __all__ = [
     # functional
     "addmm", "concat", "stack", "softmax", "log_softmax", "masked_log_softmax",
     "sparse_masked_log_probs",
-    "gather_rows", "embedding_lookup", "dropout", "where_mask", "pad_sequences",
+    "row_dot", "gather_rows", "embedding_lookup", "dropout", "where_mask", "pad_sequences",
     # module system
     "Module", "ModuleList", "Parameter", "Sequential",
     # layers
@@ -80,6 +91,7 @@ __all__ = [
     # fusion / sparse-mask switches
     "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
     "sparse_masks_enabled", "set_sparse_masks", "use_sparse_masks",
+    "packed_decode_enabled", "set_packed_decode", "use_packed_decode",
     # exchange dtype switch
     "get_default_dtype", "set_default_dtype", "use_default_dtype",
     # attention
@@ -91,7 +103,9 @@ __all__ = [
     # flat parameters
     "FlatLayout", "FlatParameterSpace",
     # costs
-    "CostReport", "count_parameters", "estimate_flops", "st_operator_complexity",
+    "CostReport", "count_parameters", "estimate_flops",
+    "estimate_decode_flops", "estimate_decode_step_flops",
+    "st_operator_complexity",
     # serialization
     "save_state_dict", "load_state_dict", "state_dict_num_bytes",
 ]

@@ -63,6 +63,38 @@ class AdditiveAttention(Module):
         context = (weights.reshape(batch, 1, steps) @ keys).reshape(batch, hidden)
         return context, weights
 
+    def project_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Precompute ``keys @ W_s`` once per decode session.
+
+        The key projection is identical at every decode step (the
+        encoder states are fixed), so packed decode sessions hoist it
+        out of the step loop; the per-step tape path recomputes it with
+        the same operations, hence identical values.
+        """
+        return keys @ self.w_keys.data
+
+    def step_array(self, query: np.ndarray, keys: np.ndarray,
+                   keys_proj: np.ndarray,
+                   mask: np.ndarray | None = None) -> np.ndarray:
+        """One tape-free attention read on raw arrays (decode-engine
+        kernel): mirrors :meth:`forward` with ``keys_proj`` from
+        :meth:`project_keys`, except that the single-output energy
+        projection goes through :func:`repro.nn.row_dot` so its bits do
+        not depend on the decode working-set size.  Returns the context
+        vectors ``(B, H)``.
+        """
+        from .functional import row_dot
+
+        batch, steps, hidden = keys.shape
+        q = (query @ self.w_query.data).reshape(batch, 1, hidden)
+        energy = row_dot(np.tanh(q + keys_proj), self.v.data)  # (B, T)
+        if mask is not None:
+            energy = np.where(np.asarray(mask, dtype=bool), energy, -1e9)
+        weights = energy - energy.max(axis=-1, keepdims=True)
+        np.exp(weights, out=weights)
+        weights /= weights.sum(axis=-1, keepdims=True)
+        return (weights.reshape(batch, 1, steps) @ keys).reshape(batch, hidden)
+
 
 class SelfAttention(Module):
     """Single-head self-attention block (RNTrajRec baseline encoder).

@@ -16,7 +16,9 @@ from .layers import Embedding, Linear
 from .module import Module
 from .recurrent import GRU, LSTM, GRUCell, LSTMCell, RNN, RNNCell
 
-__all__ = ["CostReport", "count_parameters", "estimate_flops", "st_operator_complexity"]
+__all__ = ["CostReport", "count_parameters", "estimate_flops",
+           "estimate_decode_step_flops", "estimate_decode_flops",
+           "st_operator_complexity"]
 
 
 @dataclass(frozen=True)
@@ -100,10 +102,107 @@ def estimate_flops(model: Module, seq_len: int, batch: int = 1) -> float:
     return total
 
 
+def estimate_decode_step_flops(model: Module, seq_len: int = 1) -> float:
+    """FLOPs of ONE autoregressive decode step (the serving hot path).
+
+    Counts only what runs inside the decode loop: bare recurrent cells
+    (cells owned by a sequence wrapper belong to the encoder, which
+    runs once per sequence, not once per emitted point), feed-forward
+    heads, embedding feedback lookups, and per-step additive-attention
+    reads (which scan all ``seq_len`` encoder states every step —
+    the Table II Attn overhead).  Encoder-side work is excluded:
+    self-attention blocks by type, and any module (or whole subtree)
+    a model marks with ``decode_side = False`` — the convention the
+    models use for per-sequence pieces like observation embeddings,
+    encoder input projections, and GCN refinement layers.
+    """
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    total = 0.0
+    wrapped_cells: set[int] = set()
+    for module in _walk_decode_side(model):
+        if isinstance(module, (GRU, RNN, LSTM)):
+            wrapped_cells.add(id(module.cell))
+    for module in _walk_decode_side(model):
+        if isinstance(module, Linear):
+            total += _linear_flops(module)
+        elif isinstance(module, Embedding):
+            # Two feedback lookups per step: previous + chosen segment.
+            total += 2.0 * module.embedding_dim
+        elif isinstance(module, (GRUCell, RNNCell, LSTMCell)):
+            if id(module) in wrapped_cells:
+                continue  # encoder-side: charged per sequence, not per step
+            total += _cell_flops(module)
+        elif isinstance(module, AdditiveAttention):
+            h = module.hidden_size
+            total += (4.0 * h * h + 3.0 * h) * seq_len
+    return total
+
+
+def estimate_decode_flops(model: Module, seq_len: int, batch: int = 1) -> float:
+    """Estimate autoregressive-recovery FLOPs for ``batch`` sequences.
+
+    The inference-side companion of :func:`estimate_flops`: one
+    :func:`estimate_decode_step_flops` per emitted point plus the
+    encoder pass, charged once per sequence — sequence wrappers,
+    self-attention blocks, and the feed-forward/embedding subtrees the
+    models mark ``decode_side = False`` (approximated as one pass over
+    the ``seq_len`` observed points, matching :func:`estimate_flops`'s
+    treatment).  This is what one serving request costs; the packed
+    decode engine (:mod:`repro.serving`) reduces the *step* term to
+    each trajectory's true length.
+    """
+    if seq_len <= 0 or batch <= 0:
+        raise ValueError("seq_len and batch must be positive")
+    encoder = 0.0
+    for module in _walk(model):
+        if isinstance(module, (GRU, RNN, LSTM)):
+            encoder += _cell_flops(module.cell) * seq_len
+        elif isinstance(module, SelfAttention):
+            h = module.hidden_size
+            encoder += (3 * 2.0 * h * h * seq_len + 2.0 * seq_len * seq_len * h
+                        + 2 * 2.0 * h * (2 * h) * seq_len)
+    for pruned in _pruned_decode_side(model):
+        for module in _walk(pruned):
+            if isinstance(module, Linear):
+                encoder += _linear_flops(module) * seq_len
+            elif isinstance(module, Embedding):
+                encoder += module.embedding_dim * seq_len
+    steps = estimate_decode_step_flops(model, seq_len=seq_len) * seq_len
+    return (encoder + steps) * batch
+
+
 def _walk(module: Module):
     yield module
     for child in module._modules.values():
         yield from _walk(child)
+
+
+def _walk_decode_side(module: Module):
+    """Like :func:`_walk`, but prunes encoder-side subtrees: modules
+    marked ``decode_side = False`` and self-attention blocks (whose
+    internal layers are charged per *sequence* by
+    :func:`estimate_decode_flops`, not per step)."""
+    if not getattr(module, "decode_side", True):
+        return
+    if isinstance(module, SelfAttention):
+        return
+    yield module
+    for child in module._modules.values():
+        yield from _walk_decode_side(child)
+
+
+def _pruned_decode_side(module: Module):
+    """The top-most subtrees :func:`_walk_decode_side` prunes by the
+    ``decode_side`` marker (self-attention blocks are handled by type
+    in :func:`estimate_decode_flops` directly)."""
+    if not getattr(module, "decode_side", True):
+        yield module
+        return
+    if isinstance(module, SelfAttention):
+        return
+    for child in module._modules.values():
+        yield from _pruned_decode_side(child)
 
 
 def st_operator_complexity(kind: str, n: int, length: int, dim: int) -> dict[str, float]:

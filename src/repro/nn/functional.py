@@ -20,6 +20,7 @@ __all__ = [
     "log_softmax",
     "masked_log_softmax",
     "sparse_masked_log_probs",
+    "row_dot",
     "gather_rows",
     "embedding_lookup",
     "dropout",
@@ -266,6 +267,22 @@ def sparse_masked_log_probs(logits: np.ndarray, smask) -> np.ndarray:
         logits.reshape(-1, logits.shape[-1]), smask, want_soft=False
     )
     return out.reshape(logits.shape)
+
+
+def row_dot(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Packing-stable ``(..., K) @ (K, 1)`` mat-vec on raw arrays.
+
+    BLAS dispatches single-output-column matmuls to GEMV kernels whose
+    accumulation blocking depends on the row count, so the same row can
+    come out a few ULP different inside working sets of different
+    sizes.  The packed decode engine compacts its working set whenever
+    a trajectory finishes, so its single-output heads (moving-ratio
+    heads, the additive-attention energy) use this reduction instead:
+    an elementwise product and a per-row pairwise sum, bit-stable under
+    any row packing.  Returns shape ``(...)`` (the unit column dropped);
+    values agree with the ``@`` form to ~1 ULP.
+    """
+    return (x * w.reshape(-1)).sum(axis=-1)
 
 
 def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:

@@ -1,6 +1,6 @@
 """Global switches between fused/sparse hot paths and reference paths.
 
-This module owns two process-global flags, both following the same
+This module owns three process-global flags, all following the same
 pattern (getter, setter returning the previous value, and a scoping
 context manager):
 
@@ -24,6 +24,17 @@ Disable it to force the dense reference mask path::
     with nn.use_sparse_masks(False):
         trainer.train_epoch(dataset)
 
+**Packed decode** (:func:`use_packed_decode`, default *on*).  When
+enabled, the serving layer (:mod:`repro.serving`) runs autoregressive
+inference through the :class:`~repro.serving.DecodeSession` engine:
+variable-length trajectories are stepped together with active-row
+compaction, so decode cost scales with the number of *unfinished* rows
+per step instead of ``batch x max_length``.  Disable it to force the
+padded full-length decode at every serving call site::
+
+    with nn.use_packed_decode(False):
+        row = evaluate_model(model, mask_builder, dataset)
+
 Equivalence contract
 --------------------
 Every (fused, sparse) combination computes the same function:
@@ -36,7 +47,13 @@ Every (fused, sparse) combination computes the same function:
   (``tests/core/test_sparse_mask.py``);
 * argmax segment predictions are bit-identical between sparse and dense
   masks (the sparse output differs from the dense one only by a
-  per-row-constant normaliser shift).
+  per-row-constant normaliser shift);
+* packed decode matches the padded full-length engine decode
+  bit-for-bit on every valid (non-padding) timestep for any working
+  set of two or more rows; one-row working sets hit different BLAS
+  kernels, where values agree to 1e-10 and argmax matches everywhere
+  the decision margin exceeds ~1e-9 — the same tolerance class as the
+  other contracts (``tests/serving/test_decode_session.py``).
 
 Both flags are process-global; the parallel federated round runner
 re-asserts them inside every worker task (see
@@ -51,10 +68,12 @@ import contextlib
 __all__ = [
     "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
     "sparse_masks_enabled", "set_sparse_masks", "use_sparse_masks",
+    "packed_decode_enabled", "set_packed_decode", "use_packed_decode",
 ]
 
 _FUSED_ENABLED = True
 _SPARSE_MASKS_ENABLED = True
+_PACKED_DECODE_ENABLED = True
 
 
 def fused_kernels_enabled() -> bool:
@@ -102,3 +121,27 @@ def use_sparse_masks(enabled: bool):
         yield
     finally:
         set_sparse_masks(previous)
+
+
+def packed_decode_enabled() -> bool:
+    """Whether serving call sites should run packed (length-compacted)
+    autoregressive decode (see :mod:`repro.serving`)."""
+    return _PACKED_DECODE_ENABLED
+
+
+def set_packed_decode(enabled: bool) -> bool:
+    """Set the global packed-decode flag; returns the previous value."""
+    global _PACKED_DECODE_ENABLED
+    previous = _PACKED_DECODE_ENABLED
+    _PACKED_DECODE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_packed_decode(enabled: bool):
+    """Context manager scoping the packed-decode flag."""
+    previous = set_packed_decode(enabled)
+    try:
+        yield
+    finally:
+        set_packed_decode(previous)

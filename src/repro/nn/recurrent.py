@@ -346,6 +346,16 @@ class RNNCell(Module):
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         return (x @ self.w_x + h @ self.w_h + self.bias).tanh()
 
+    def step_array(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """One tape-free cell step on raw arrays (decode-engine kernel).
+
+        Mirrors :meth:`forward` operation by operation — same expression,
+        same association — so packed decode sessions stepping a
+        *compacted* subset of batch rows reproduce the per-row values of
+        the full-batch tape path.
+        """
+        return np.tanh(x @ self.w_x.data + h @ self.w_h.data + self.bias.data)
+
     def scan(self, x: Tensor, h0: Tensor, mask: np.ndarray | None = None) -> Tensor:
         """Fused whole-sequence scan (see :func:`fused_rnn_scan`)."""
         return fused_rnn_scan(x, h0, self.w_x, self.w_h, self.bias, mask=mask)
@@ -380,6 +390,21 @@ class GRUCell(Module):
         z = (hx @ self.w_z + self.b_z).sigmoid()
         rhx = concat([r * h, x], axis=-1)
         h_tilde = (rhx @ self.w_h + self.b_h).tanh()
+        return (1.0 - z) * h + z * h_tilde
+
+    def step_array(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """One tape-free cell step on raw arrays (decode-engine kernel).
+
+        Mirrors :meth:`forward` operation by operation (including the
+        clipped :func:`~repro.nn.tensor.sigmoid_forward`) so packed
+        decode sessions stepping a compacted subset of batch rows
+        reproduce the per-row values of the full-batch tape path.
+        """
+        hx = np.concatenate([h, x], axis=-1)
+        r = sigmoid_forward(hx @ self.w_r.data + self.b_r.data)
+        z = sigmoid_forward(hx @ self.w_z.data + self.b_z.data)
+        rhx = np.concatenate([r * h, x], axis=-1)
+        h_tilde = np.tanh(rhx @ self.w_h.data + self.b_h.data)
         return (1.0 - z) * h + z * h_tilde
 
     def scan(self, x: Tensor, h0: Tensor, mask: np.ndarray | None = None) -> Tensor:
@@ -426,6 +451,20 @@ class LSTMCell(Module):
         c_next = f * c + i * g
         h_next = o * c_next.tanh()
         return concat([h_next, c_next], axis=-1)
+
+    def step_array(self, x: np.ndarray, state: np.ndarray) -> np.ndarray:
+        """One tape-free cell step on raw ``[h, c]`` arrays (decode-engine
+        kernel); the exact operation-order mirror of :meth:`forward`."""
+        h = state[:, : self.hidden_size]
+        c = state[:, self.hidden_size:]
+        hx = np.concatenate([h, x], axis=-1)
+        i = sigmoid_forward(hx @ self.w_i.data + self.b_i.data)
+        f = sigmoid_forward(hx @ self.w_f.data + self.b_f.data)
+        o = sigmoid_forward(hx @ self.w_o.data + self.b_o.data)
+        g = np.tanh(hx @ self.w_g.data + self.b_g.data)
+        c_next = f * c + i * g
+        h_next = o * np.tanh(c_next)
+        return np.concatenate([h_next, c_next], axis=-1)
 
     def scan(self, x: Tensor, state0: Tensor, mask: np.ndarray | None = None) -> Tensor:
         """Fused whole-sequence scan (see :func:`fused_lstm_scan`)."""

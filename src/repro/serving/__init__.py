@@ -1,0 +1,24 @@
+"""Recovery serving layer: the batched variable-length decode engine.
+
+``DecodeSession`` (:mod:`repro.serving.engine`) packs ragged-length
+trajectories into one compacted stepping loop; decode programs
+(:mod:`repro.serving.programs`) adapt each model's step math to it; and
+:func:`decode_model` (:mod:`repro.serving.api`) is the entry point the
+evaluation, recovery, and federated layers call.  See
+``docs/PERFORMANCE.md`` for the knobs and determinism contract.
+"""
+
+from .api import batch_lengths, decode_model
+from .engine import (
+    DecodeSession,
+    EmissionPolicy,
+    GreedyEmission,
+    PackedDecodeResult,
+)
+from .programs import AttnDecodeProgram, StackedRNNDecodeProgram, STDecodeProgram
+
+__all__ = [
+    "decode_model", "batch_lengths",
+    "DecodeSession", "EmissionPolicy", "GreedyEmission", "PackedDecodeResult",
+    "STDecodeProgram", "StackedRNNDecodeProgram", "AttnDecodeProgram",
+]

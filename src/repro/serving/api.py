@@ -1,0 +1,72 @@
+"""One entry point for every recovery-inference call site.
+
+:func:`decode_model` is how the rest of the repo runs autoregressive
+recovery: :meth:`TrajectoryRecovery.predict_batch`,
+:func:`~repro.metrics.evaluation.evaluate_model`, and the federated
+loop's accuracy gates (:func:`~repro.core.training.model_segment_accuracy`)
+all route through it instead of calling ``model(batch, log_mask,
+teacher_forcing=False)`` directly.  When packed decode is enabled
+(:func:`repro.nn.use_packed_decode`, default on) and the model builds a
+decode program, inference runs through the
+:class:`~repro.serving.engine.DecodeSession` engine with each row
+decoded only to its true length; otherwise it falls back to the model's
+own padded full-length decode, so models without a program (e.g. the
+non-autoregressive FC baseline) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .engine import DecodeSession, EmissionPolicy
+
+__all__ = ["decode_model", "batch_lengths"]
+
+
+def batch_lengths(batch) -> np.ndarray:
+    """Per-row valid decode lengths of a padded batch (``tgt_mask`` row
+    sums; valid steps are a prefix by the collation contract)."""
+    return batch.tgt_mask.sum(axis=1).astype(np.int64)
+
+
+def decode_model(model, batch, log_mask, *, decode_batch: int | None = None,
+                 policy: EmissionPolicy | None = None):
+    """Autoregressive recovery inference through the shared engine.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.core.base.RecoveryModel`.  Callers are
+        expected to have put it in eval mode; gradients are disabled
+        here.
+    batch:
+        The padded :class:`~repro.data.dataset.Batch`.
+    log_mask:
+        Constraint mask — dense array or
+        :class:`~repro.core.mask.SparseConstraintMask`, typically from
+        :meth:`ConstraintMaskBuilder.build_for`.
+    decode_batch:
+        Maximum trajectories stepped together per working set (``None``
+        = all at once); the serving-side memory/latency knob.
+    policy:
+        Emission policy override (default greedy).
+
+    Returns a :class:`~repro.core.base.ModelOutput`.  Valid timesteps
+    match the padded engine decode bit-for-bit for any
+    ``decode_batch >= 2`` (see the engine's determinism contract for
+    the one-row caveat); steps beyond a row's length are zero-filled —
+    consumers never read them.
+    """
+    from ..core.base import ModelOutput  # core imports serving at load time
+
+    with nn.no_grad():
+        program = (model.decode_program(batch, log_mask)
+                   if nn.packed_decode_enabled() else None)
+        if program is None:
+            return model(batch, log_mask, teacher_forcing=False)
+        session = DecodeSession(policy=policy, decode_batch=decode_batch)
+        result = session.run(program, batch, lengths=batch_lengths(batch))
+    return ModelOutput(log_probs=nn.Tensor(result.log_probs),
+                       ratios=nn.Tensor(result.ratios),
+                       segments=result.segments)

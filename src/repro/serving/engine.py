@@ -1,0 +1,239 @@
+"""Batched variable-length decode engine (the serving hot path).
+
+Autoregressive trajectory recovery steps a decoder once per output
+timestep.  The padded decode paths step **every** batch row for
+``max_length`` steps, so a batch of ragged-length trajectories pays for
+``B * T_max`` row-steps even though only ``sum(T_i)`` carry signal.
+:class:`DecodeSession` packs an arbitrary set of variable-length
+trajectories into one batched stepping loop with **active-row
+compaction**: rows whose trajectory is finished are dropped from the
+working set at the step where they finish, every kernel in the step
+(recurrent cells, heads, constraint-mask slicing, masked log-softmax)
+runs over the compacted rows only, and the per-step outputs are
+re-scattered into their original positions at the end.  Decode cost
+then scales with the number of *unfinished* rows per step.
+
+The engine is model-agnostic: it drives a **decode program** — an
+adapter each recovery model builds via
+:meth:`~repro.core.base.RecoveryModel.decode_program` — through a small
+duck-typed protocol:
+
+``num_rows`` / ``num_steps`` / ``num_classes``
+    Working-set geometry (batch rows, max timesteps, vocabulary size).
+``initial_state()``
+    The per-row decoder state for all ``num_rows`` rows.  Must be safe
+    to reuse across :meth:`DecodeSession.run` calls (the engine never
+    mutates it; ``advance`` returns fresh state).
+``select_rows(state, keep)``
+    The state compacted to positions ``keep`` of the current working
+    set (a pure gather).
+``advance(state, rows, t, prev_segments, prev_ratios)``
+    Advance one step over the compacted working set (``rows`` holds the
+    original batch-row ids, for slicing per-row constants such as the
+    constraint mask and auxiliary features) and return
+    ``(next_state, log_probs)`` with ``log_probs`` of shape ``(A, S)``.
+``emit(state, segments)``
+    The moving ratios ``(A,)`` for the segments the emission policy
+    chose.
+
+Choosing the emitted segment is delegated to a pluggable
+:class:`EmissionPolicy` (greedy argmax today; the split
+``advance``/``emit`` protocol is exactly the seam a beam policy needs —
+score all hypotheses, then emit ratios for the survivors).
+
+Determinism contract
+--------------------
+Compaction only ever *removes* rows from the batched kernels; every
+operation in a decode step is row-local, so the surviving rows compute
+the same values they would inside the full batch.  Two BLAS caveats
+are handled explicitly:
+
+* single-output matmuls (``(M, K) @ (K, 1)`` — ratio heads, attention
+  energies) dispatch to GEMV kernels whose accumulation blocking
+  depends on ``M``, so the step kernels route them through the
+  packing-stable :func:`repro.nn.row_dot` reduction instead;
+* a single-row working set dispatches *every* matmul to GEMV, so when
+  compaction would shrink a multi-row working set to exactly one row
+  the engine carries one finished row along as inert ballast (its
+  outputs are discarded) and the live row keeps its GEMM bit-pattern.
+
+Packed output is therefore **bit-identical** to the padded full-length
+engine decode on every valid timestep, for any working set of two or
+more rows (any ``decode_batch >= 2``).  Working sets of one row
+(``decode_batch=1``, or one-trajectory request batches) do run the
+GEMV kernels: there, log-probabilities and ratios agree to 1e-10 and
+argmax segments match everywhere the decision margin exceeds the ~1e-9
+numerical noise — exactly-tied candidates (e.g. the two directed twins
+of one road edge under an untrained model) may flip, after which the
+autoregressive feedback legitimately diverges.  This is the same
+tolerance class as the fused-kernel and sparse-mask contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmissionPolicy", "GreedyEmission", "PackedDecodeResult",
+           "DecodeSession"]
+
+
+class EmissionPolicy:
+    """Chooses the emitted segment per active row each decode step.
+
+    ``select`` receives the masked log-probabilities ``(A, S)`` of the
+    compacted working set and returns one segment id per row.  Policies
+    are stateless with respect to the engine loop: richer policies
+    (e.g. beam search) would subclass :class:`DecodeSession` to expand
+    the working set per hypothesis, but reuse this same scoring seam —
+    the engine already separates scoring (``advance``) from emission
+    (``emit``), so a policy never has to re-run the decoder to change
+    what is emitted.
+    """
+
+    def select(self, log_probs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class GreedyEmission(EmissionPolicy):
+    """Argmax emission — the paper's decode rule (Eq. 11)."""
+
+    def select(self, log_probs: np.ndarray) -> np.ndarray:
+        return np.argmax(log_probs, axis=-1).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PackedDecodeResult:
+    """Re-scattered outputs of one packed decode run.
+
+    Rows beyond a trajectory's length hold zeros (they are padding —
+    no consumer reads them); ``work_rows`` / ``dense_rows`` record how
+    many row-steps the packed loop actually computed vs what a padded
+    loop would have, so packing efficiency is observable.
+    """
+
+    log_probs: np.ndarray  # (B, T, S) float, zeros beyond each length
+    ratios: np.ndarray  # (B, T) float, zeros beyond each length
+    segments: np.ndarray  # (B, T) int64, zeros beyond each length
+    work_rows: int  # row-steps computed (incl. BLAS-guard ballast)
+    dense_rows: int  # row-steps a padded decode would compute
+
+
+class DecodeSession:
+    """Packs ragged-length decode requests into one compacted loop.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`EmissionPolicy`; default greedy argmax.
+    decode_batch:
+        Maximum number of trajectories stepped together.  ``None``
+        decodes the whole request set as one working set; a positive
+        value bounds peak per-step memory (each chunk shares the
+        program's initial state, so e.g. the encoder still runs once
+        for the full batch).  For ``decode_batch >= 2`` a trailing
+        one-row chunk is folded into its predecessor so every working
+        set keeps the two-row bitwise contract; ``decode_batch=1``
+        deliberately opts into one-row (GEMV-kernel) working sets.
+    """
+
+    def __init__(self, policy: EmissionPolicy | None = None,
+                 decode_batch: int | None = None):
+        if decode_batch is not None and decode_batch < 1:
+            raise ValueError("decode_batch must be >= 1 (or None)")
+        self.policy = policy if policy is not None else GreedyEmission()
+        self.decode_batch = decode_batch
+
+    def run(self, program, batch, lengths: np.ndarray | None = None
+            ) -> PackedDecodeResult:
+        """Decode every row of ``batch`` through ``program``.
+
+        ``lengths`` gives each row's number of valid decode steps;
+        ``None`` decodes every row for the full padded ``num_steps``
+        (the padded reference behaviour — no compaction ever happens).
+        """
+        b, t = program.num_rows, program.num_steps
+        if lengths is None:
+            lengths = np.full(b, t, dtype=np.int64)
+        else:
+            lengths = np.asarray(lengths, dtype=np.int64)
+            if lengths.shape != (b,):
+                raise ValueError(
+                    f"lengths shape {lengths.shape} does not match {b} rows")
+            if lengths.max(initial=0) > t:
+                raise ValueError("a length exceeds the program's num_steps")
+        log_probs = np.zeros((b, t, program.num_classes))
+        ratios = np.zeros((b, t))
+        segments = np.zeros((b, t), dtype=np.int64)
+
+        state0 = program.initial_state()
+        work = 0
+        chunk = b if self.decode_batch is None else self.decode_batch
+        starts = list(range(0, b, chunk))
+        if chunk >= 2 and len(starts) > 1 and b - starts[-1] == 1:
+            # A trailing one-row chunk would decode through GEMV kernels
+            # (different bit patterns); fold it into its predecessor so
+            # every working set honours the >= 2-row bitwise contract.
+            starts.pop()
+        for i, start in enumerate(starts):
+            stop = starts[i + 1] if i + 1 < len(starts) else b
+            rows = np.arange(start, stop, dtype=np.int64)
+            work += self._run_rows(program, state0, batch, lengths, rows,
+                                   log_probs, ratios, segments)
+        return PackedDecodeResult(
+            log_probs=log_probs, ratios=ratios, segments=segments,
+            work_rows=work, dense_rows=b * t,
+        )
+
+    # ------------------------------------------------------------------
+    # one working set
+    # ------------------------------------------------------------------
+    def _run_rows(self, program, state0, batch, lengths: np.ndarray,
+                  rows: np.ndarray, log_probs: np.ndarray, ratios: np.ndarray,
+                  segments: np.ndarray) -> int:
+        if rows.size == program.num_rows:
+            state = state0  # whole batch: reuse the program's state as-is
+        else:
+            state = program.select_rows(state0, rows)
+        live = np.ones(rows.size, dtype=bool)
+        prev_segments = batch.tgt_segments[rows, 0].copy()
+        prev_ratios = batch.tgt_ratios[rows, 0].copy()
+        horizon = int(lengths[rows].max(initial=0))
+        work = 0
+        for t in range(horizon):
+            alive = live & (lengths[rows] > t)
+            if not np.array_equal(alive, live):  # a row just finished
+                keep = np.flatnonzero(alive)
+                if keep.size == 0:
+                    break
+                if keep.size == 1 and rows.size >= 2:
+                    # BLAS guard: a 1-row working set would hit GEMV
+                    # kernels whose bit-patterns differ from GEMM; carry
+                    # one finished row as ballast instead.
+                    keep = np.concatenate(
+                        [keep, np.flatnonzero(~alive)[:1]])
+                rows = rows[keep]
+                live = alive[keep]
+                state = program.select_rows(state, keep)
+                prev_segments = prev_segments[keep]
+                prev_ratios = prev_ratios[keep]
+            state, step_logs = program.advance(state, rows, t, prev_segments,
+                                               prev_ratios)
+            step_segments = self.policy.select(step_logs)
+            step_ratios = program.emit(state, step_segments)
+            work += rows.size
+
+            out = rows[live]
+            log_probs[out, t] = step_logs[live]
+            segments[out, t] = step_segments[live]
+            ratios[out, t] = step_ratios[live]
+
+            # Autoregressive feedback: observed points are inputs, not
+            # predictions — clamp them to their known values.
+            observed = batch.observed_flags[rows, t]
+            prev_segments = np.where(observed, batch.tgt_segments[rows, t],
+                                     step_segments)
+            prev_ratios = np.where(observed, batch.tgt_ratios[rows, t],
+                                   np.clip(step_ratios, 0.0, 1.0))
+        return work

@@ -1,0 +1,205 @@
+"""Decode programs: per-model adapters the engine steps.
+
+A program bundles everything one packed decode run needs — the raw
+per-row decoder state, the per-row constants (auxiliary step features,
+the constraint mask, encoder states), and the model's step math on raw
+arrays — behind the protocol :class:`~repro.serving.DecodeSession`
+drives (see that module's docstring).  Three programs cover every
+autoregressive model in the repo, replacing what used to be three
+near-duplicate per-model inference loops:
+
+* :class:`STDecodeProgram` — LightTR's lightweight ST-operator
+  (:class:`~repro.core.st_block.LightweightSTOperator`), consuming
+  dense *or* CSR-sparse constraint masks;
+* :class:`StackedRNNDecodeProgram` — the RNN+FL baseline's stacked
+  Elman decoder with independent segment/ratio heads;
+* :class:`AttnDecodeProgram` — the MTrajRec/RNTrajRec shape: additive
+  attention over the encoder states feeding a GRU cell and the
+  multi-task head (RNTrajRec differs only in the segment-embedding
+  table it passes, the GCN-refined one).
+
+Every step mirrors the corresponding tape path operation by operation
+(same expressions, same association), so packed decode reproduces the
+per-row bit patterns of the padded loops; all state is kept as raw
+arrays and ``select_rows`` is a pure gather, which is what makes
+active-row compaction cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.functional import row_dot
+
+__all__ = ["STDecodeProgram", "StackedRNNDecodeProgram", "AttnDecodeProgram"]
+
+
+def _mask_step(log_mask, t: int, rows: np.ndarray):
+    """Slice decode step ``t`` of the mask over the compacted ``rows``."""
+    if isinstance(log_mask, np.ndarray):
+        return log_mask[rows, t, :]
+    return log_mask.step(t, rows)
+
+
+def _dense_log_softmax(masked: np.ndarray) -> np.ndarray:
+    """Raw mirror of the tape ``log_softmax`` (same expressions)."""
+    shifted = masked - masked.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    """Raw mirror of ``Tensor.relu`` (``x * (x > 0)``)."""
+    return x * (x > 0)
+
+
+class _State:
+    """One working set's decoder state (arrays compacted in lockstep)."""
+
+    __slots__ = ("arrays", "cache")
+
+    def __init__(self, arrays: list[np.ndarray], cache: np.ndarray | None = None):
+        self.arrays = arrays  # per-row state, gathered by select_rows
+        self.cache = cache  # advance -> emit carry (not gathered)
+
+
+class STDecodeProgram:
+    """LTE decode: the ST-operator's compacted-state step kernels."""
+
+    def __init__(self, operator, h0: np.ndarray, extras: np.ndarray,
+                 log_mask):
+        self.operator = operator
+        self._h0 = h0  # (B, H) encoder state
+        self._extras = extras  # (B, T, extra_inputs)
+        self._mask = log_mask  # dense (B, T, S) or SparseConstraintMask
+        self.num_rows = int(extras.shape[0])
+        self.num_steps = int(extras.shape[1])
+        self.num_classes = int(operator.num_segments)
+
+    def initial_state(self) -> _State:
+        return _State([self._h0 for _ in range(self.operator.num_blocks)])
+
+    def select_rows(self, state: _State, keep: np.ndarray) -> _State:
+        return _State([h[keep] for h in state.arrays])
+
+    def advance(self, state: _State, rows: np.ndarray, t: int,
+                prev_segments: np.ndarray, prev_ratios: np.ndarray
+                ) -> tuple[_State, np.ndarray]:
+        states, h_d, log_probs = self.operator.step_advance(
+            state.arrays, prev_segments, prev_ratios, self._extras[rows, t],
+            _mask_step(self._mask, t, rows),
+        )
+        return _State(states, h_d), log_probs
+
+    def emit(self, state: _State, segments: np.ndarray) -> np.ndarray:
+        return self.operator.step_emit(state.cache, segments)
+
+
+class StackedRNNDecodeProgram:
+    """RNN+FL decode: stacked Elman cells, independent linear heads.
+
+    The ratio head reads the top cell state directly (it does not
+    depend on the emitted segment), so ratios are computed in
+    ``advance`` and ``emit`` just returns them.
+    """
+
+    def __init__(self, seg_table: np.ndarray, cells, seg_head, ratio_head,
+                 h0: np.ndarray, extras: np.ndarray, log_mask: np.ndarray):
+        self._seg_table = seg_table  # (S, E) embedding rows
+        self._cells = list(cells)
+        self._seg_head = seg_head
+        self._ratio_head = ratio_head
+        self._h0 = h0
+        self._extras = extras
+        self._mask = log_mask
+        self.num_rows = int(extras.shape[0])
+        self.num_steps = int(extras.shape[1])
+        self.num_classes = int(seg_head.out_features)
+
+    def initial_state(self) -> _State:
+        return _State([self._h0 for _ in self._cells])
+
+    def select_rows(self, state: _State, keep: np.ndarray) -> _State:
+        return _State([h[keep] for h in state.arrays])
+
+    def advance(self, state: _State, rows: np.ndarray, t: int,
+                prev_segments: np.ndarray, prev_ratios: np.ndarray
+                ) -> tuple[_State, np.ndarray]:
+        z = np.concatenate(
+            [self._seg_table[prev_segments], prev_ratios[:, None],
+             self._extras[rows, t]], axis=-1,
+        )
+        states: list[np.ndarray] = []
+        for cell, h in zip(self._cells, state.arrays):
+            z = cell.step_array(z, h)
+            states.append(z)
+        logits = z @ self._seg_head.weight.data
+        log_probs = _dense_log_softmax(logits + _mask_step(self._mask, t, rows))
+        ratios = _relu(row_dot(z, self._ratio_head.weight.data)
+                       + self._ratio_head.bias.data)
+        return _State(states, ratios), log_probs
+
+    def emit(self, state: _State, segments: np.ndarray) -> np.ndarray:
+        return state.cache
+
+
+class AttnDecodeProgram:
+    """MTrajRec/RNTrajRec decode: additive attention + GRU + MT head.
+
+    ``seg_table`` is the raw segment-embedding table the decoder feeds
+    back — the plain embedding weight for MTrajRec, the GCN-refined
+    table for RNTrajRec (computed once per session; it is constant
+    during decoding).  The attention key projection is hoisted out of
+    the step loop (:meth:`AdditiveAttention.project_keys`).
+    """
+
+    def __init__(self, seg_table: np.ndarray, attention, cell, dense_d,
+                 seg_head, emb_proj, ratio_head, h0: np.ndarray,
+                 encoder_states: np.ndarray, obs_mask: np.ndarray,
+                 extras: np.ndarray, log_mask: np.ndarray):
+        self._seg_table = seg_table
+        self._attention = attention
+        self._cell = cell
+        self._dense_d = dense_d
+        self._seg_head = seg_head
+        self._emb_proj = emb_proj
+        self._ratio_head = ratio_head
+        self._h0 = h0  # (B, H)
+        self._keys = encoder_states  # (B, To, H)
+        self._keys_proj = attention.project_keys(encoder_states)
+        self._obs_mask = np.asarray(obs_mask, dtype=bool)
+        self._extras = extras
+        self._mask = log_mask
+        self.num_rows = int(extras.shape[0])
+        self.num_steps = int(extras.shape[1])
+        self.num_classes = int(seg_head.out_features)
+
+    def initial_state(self) -> _State:
+        return _State([self._h0, self._keys, self._keys_proj, self._obs_mask])
+
+    def select_rows(self, state: _State, keep: np.ndarray) -> _State:
+        return _State([a[keep] for a in state.arrays])
+
+    def advance(self, state: _State, rows: np.ndarray, t: int,
+                prev_segments: np.ndarray, prev_ratios: np.ndarray
+                ) -> tuple[_State, np.ndarray]:
+        h, keys, keys_proj, obs_mask = state.arrays
+        context = self._attention.step_array(h, keys, keys_proj, obs_mask)
+        z = np.concatenate(
+            [self._seg_table[prev_segments], prev_ratios[:, None],
+             self._extras[rows, t], context], axis=-1,
+        )
+        h = self._cell.step_array(z, h)
+        h_d = h @ self._dense_d.weight.data + self._dense_d.bias.data
+        logits = h_d @ self._seg_head.weight.data
+        log_probs = _dense_log_softmax(logits + _mask_step(self._mask, t, rows))
+        return _State([h, keys, keys_proj, obs_mask], h_d), log_probs
+
+    def emit(self, state: _State, segments: np.ndarray) -> np.ndarray:
+        seg_emb = self._seg_table[segments]
+        h_e = _relu(state.cache + (seg_emb @ self._emb_proj.weight.data
+                                   + self._emb_proj.bias.data))
+        return _relu(
+            row_dot(np.concatenate([h_e, seg_emb], axis=-1),
+                    self._ratio_head.weight.data)
+            + self._ratio_head.bias.data
+        )

@@ -1,0 +1,70 @@
+"""Decode-step FLOPs accounting (the inference-cost side of Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.mtrajrec import MTrajRecModel
+from repro.baselines.rnn import RNNRecoveryModel
+from repro.core import LTEModel, RecoveryModelConfig
+from repro.nn.flops import (
+    estimate_decode_flops,
+    estimate_decode_step_flops,
+    estimate_flops,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RecoveryModelConfig(num_cells=32, num_segments=40, cell_emb_dim=8,
+                               seg_emb_dim=8, hidden_size=16, dropout=0.0)
+
+
+def test_decode_flops_scale_with_length(config):
+    model = LTEModel(config, np.random.default_rng(0))
+    short = estimate_decode_flops(model, seq_len=8)
+    long = estimate_decode_flops(model, seq_len=16)
+    assert 0 < short < long
+
+
+def test_attention_decoder_costs_more_per_step(config):
+    """Table II's point: the attention decoder pays O(T * H^2) per step,
+    the lightweight operator does not — per-step cost must reflect it
+    and grow with the encoder length only for the attention model."""
+    lte = LTEModel(config, np.random.default_rng(0))
+    mtraj = MTrajRecModel(config, np.random.default_rng(1))
+    assert (estimate_decode_step_flops(mtraj, seq_len=16)
+            > estimate_decode_step_flops(lte, seq_len=16))
+    assert (estimate_decode_step_flops(mtraj, seq_len=32)
+            > estimate_decode_step_flops(mtraj, seq_len=16))
+    assert (estimate_decode_step_flops(lte, seq_len=32)
+            == estimate_decode_step_flops(lte, seq_len=16))
+
+
+def test_decode_flops_scale_with_batch(config):
+    model = RNNRecoveryModel(config, np.random.default_rng(1))
+    one = estimate_decode_flops(model, seq_len=16, batch=1)
+    four = estimate_decode_flops(model, seq_len=16, batch=4)
+    assert four == pytest.approx(4 * one)
+
+
+def test_decode_flops_same_order_as_training_forward(config):
+    """Decode cost is the same order as one training forward pass (same
+    layers run per step; decode adds the chosen-segment feedback
+    lookup) — a sanity bound on the analytic model."""
+    for model in (LTEModel(config, np.random.default_rng(0)),
+                  RNNRecoveryModel(config, np.random.default_rng(1))):
+        decode = estimate_decode_flops(model, seq_len=16)
+        train = estimate_flops(model, seq_len=16)
+        assert 0.5 * train < decode < 2.0 * train
+
+
+def test_invalid_arguments_raise(config):
+    model = LTEModel(config, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        estimate_decode_flops(model, seq_len=0)
+    with pytest.raises(ValueError):
+        estimate_decode_step_flops(model, seq_len=-1)
+    with pytest.raises(ValueError):
+        estimate_decode_flops(model, seq_len=4, batch=0)
