@@ -15,6 +15,10 @@ Times the four layers the fused/vectorized refactors target —
   padded full-length loop vs the packed ``DecodeSession`` engine
   (active-row compaction: decode cost tracks the live rows per step,
   so the win is the padding fraction of the workload),
+* the compute-dtype substrate: the identical epoch / decode /
+  federated-round workloads at float32 vs float64 kernels
+  (``nn.use_compute_dtype``), with the measured segment-accuracy and
+  log-probability drift recorded next to the speedups,
 
 and writes the measurements to ``BENCH_hotpath.json`` at the repo root
 so future PRs can track the speed trajectory.  The parallel speedup
@@ -338,6 +342,124 @@ def _time_decode() -> dict:
     return timings
 
 
+#: The mixed-precision leg runs a wider model than the fused-kernel leg:
+#: the float32 win is memory traffic, which the benchmark should measure
+#: in the memory-bound regime the optimisation targets.
+DTYPE_HIDDEN = 96
+DTYPE_EPOCHS = 2
+DTYPE_FED_CLIENTS = 4
+DTYPE_FED_ROUNDS = 2
+
+
+def _time_compute_dtype() -> dict:
+    """float32 vs float64 compute substrate: epoch, decode, fed round.
+
+    Each leg builds its world under :func:`nn.use_compute_dtype` and
+    times the identical workload at both precisions; alongside the
+    timings it records the measured accuracy/loss drift (the audited
+    cost of the speedup).  float64 is the reference; the epoch gate
+    asserts the headline >= 1.3x local-epoch win.
+    """
+    world, dataset = _world()
+    config = RecoveryModelConfig(
+        num_cells=dataset.num_cells, num_segments=dataset.num_segments,
+        cell_emb_dim=EMB, seg_emb_dim=EMB, hidden_size=DTYPE_HIDDEN,
+        num_st_blocks=2, dropout=0.0, bbox=world.network.bounding_box(),
+    )
+
+    # Ragged decode workload (the serving shape), shared lengths with
+    # the packed-decode benchmark.
+    trimmed = [
+        MatchedTrajectory(t.traj_id, t.driver_id, t.epsilon,
+                          t.points[:DECODE_LENGTHS[i % len(DECODE_LENGTHS)]])
+        for i, t in enumerate(world.matched)
+    ]
+    ragged = TrajectoryDataset.from_matched(trimmed, world.grid,
+                                            world.network, keep_ratio=0.25)
+
+    legs: dict[str, dict] = {}
+    outputs: dict[str, dict] = {}
+    for dtype in ("float64", "float32"):
+        with nn.use_compute_dtype(dtype):
+            model = LTEModel(config, np.random.default_rng(3))
+            mask_builder = ConstraintMaskBuilder(world.network, radius=500.0)
+            optimizer = nn.Adam(model.parameters(), lr=1e-3)
+            rng = np.random.default_rng(4)
+            epoch = lambda: _run_epoch(model, dataset, mask_builder,
+                                       optimizer, nn.clip_grad_norm, rng)
+            epoch()  # warm caches (collation, mask pools)
+            epoch_seconds = _best_of(epoch, repeats=5)
+
+            # Converged-enough model for the drift measurement.
+            from repro.core.training import model_segment_accuracy
+            accuracy = model_segment_accuracy(model, mask_builder, dataset)
+
+            model.eval()
+            batch = ragged.full_batch()
+            log_mask = mask_builder.build_for(batch, model)
+
+            def run_decode():
+                with nn.no_grad():
+                    return decode_model(model, batch, log_mask)
+
+            decode_out = run_decode()
+            decode_seconds = _best_of(run_decode, repeats=5)
+            model.train()
+
+            # One small serial federated run (broadcast/train/aggregate
+            # at the compute dtype end to end).
+            clients, global_test = build_federation(
+                world, num_clients=DTYPE_FED_CLIENTS, keep_ratio=0.25)
+            trainer = FederatedTrainer(
+                lambda: LTEModel(config, np.random.default_rng(5)),
+                clients, mask_builder,
+                FederatedConfig(rounds=DTYPE_FED_ROUNDS, local_epochs=1,
+                                use_meta=False,
+                                training=TrainingConfig(batch_size=BATCH)),
+                global_test, seed=0,
+            )
+            start = time.perf_counter()
+            fed_result = trainer.run()
+            fed_round_seconds = (time.perf_counter() - start) / DTYPE_FED_ROUNDS
+
+            legs[dtype] = {
+                "epoch": epoch_seconds,
+                "decode": decode_seconds,
+                "federated_round": fed_round_seconds,
+            }
+            outputs[dtype] = {
+                "accuracy": accuracy,
+                "decode_log_probs": decode_out.log_probs.data.astype(
+                    np.float64),
+                "fed_accuracy": fed_result.history[-1].global_accuracy,
+            }
+
+    valid_scale = np.abs(outputs["float64"]["decode_log_probs"]).max() + 1e-12
+    drift = {
+        "segment_accuracy_float64": outputs["float64"]["accuracy"],
+        "segment_accuracy_float32": outputs["float32"]["accuracy"],
+        "segment_accuracy_drift": abs(outputs["float32"]["accuracy"]
+                                      - outputs["float64"]["accuracy"]),
+        "fed_accuracy_drift": abs(outputs["float32"]["fed_accuracy"]
+                                  - outputs["float64"]["fed_accuracy"]),
+        "decode_log_prob_max_rel_drift": float(
+            np.abs(outputs["float32"]["decode_log_probs"]
+                   - outputs["float64"]["decode_log_probs"]).max()
+            / valid_scale),
+    }
+    return {
+        "hidden_size": DTYPE_HIDDEN,
+        "float64": legs["float64"],
+        "float32": legs["float32"],
+        "epoch_speedup": legs["float64"]["epoch"] / legs["float32"]["epoch"],
+        "decode_speedup": (legs["float64"]["decode"]
+                           / legs["float32"]["decode"]),
+        "federated_round_speedup": (legs["float64"]["federated_round"]
+                                    / legs["float32"]["federated_round"]),
+        "drift": drift,
+    }
+
+
 PARALLEL_WORKERS = 4
 PARALLEL_CLIENTS = 8
 PARALLEL_ROUNDS = 3
@@ -404,6 +526,7 @@ def test_perf_hotpath():
     sparse_mask = _time_sparse_mask()
     decode = _time_decode()
     fed_round = _time_federated_round()
+    compute_dtype = _time_compute_dtype()
 
     report = {
         "encoder_forward_backward_seconds": encoder,
@@ -411,6 +534,7 @@ def test_perf_hotpath():
         "sparse_mask_seconds": sparse_mask,
         "decode_seconds": decode,
         "federated_round_seconds": fed_round,
+        "compute_dtype_seconds": compute_dtype,
     }
     with open(BENCH_PATH, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -436,3 +560,9 @@ def test_perf_hotpath():
     # (and a start method that can actually run the pool).
     if fed_round["cpus"] >= PARALLEL_WORKERS and fed_round["fork"]:
         assert fed_round["speedup"] > 1.5, fed_round
+    # The float32 substrate halves hot-loop memory traffic: the local
+    # epoch must win >= 1.3x end to end, and the accuracy cost must stay
+    # inside the audited drift budget (see docs/PERFORMANCE.md).
+    assert compute_dtype["epoch_speedup"] >= 1.3, compute_dtype
+    assert compute_dtype["drift"]["segment_accuracy_drift"] <= 0.02, \
+        compute_dtype

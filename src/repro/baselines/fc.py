@@ -48,18 +48,18 @@ class FCRecoveryModel(RecoveryModel):
         x = nn.concat([emb, nn.Tensor(batch.obs_feats)], axis=-1)
         feats = self.pool_mlp(x)  # (B, To, H)
         # Masked mean pool over observed points.
-        weights = batch.obs_mask.astype(np.float64)
+        weights = batch.obs_mask.astype(nn.get_compute_dtype())
         denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
         pooled = (feats * nn.Tensor(weights[:, :, None])).sum(axis=1) * nn.Tensor(1.0 / denom)
 
-        guide = self._normalise_guides(batch.guide_xy)
-        denominator = max(1, t - 1)
+        # FC consumes only the [fraction, guide] columns of the shared
+        # step extras (no observed flag, no autoregression) — slice the
+        # dtype-routed build instead of re-deriving float64 columns.
+        extras_all = self._step_extras(batch)[:, :, :3]
         step_logs, step_ratios, step_segments = [], [], []
         for step in range(t):
-            extras = np.concatenate(
-                [np.full((b, 1), step / denominator), guide[:, step, :]], axis=1
-            )
-            z = self.step_mlp(nn.concat([pooled, nn.Tensor(extras)], axis=-1))
+            z = self.step_mlp(nn.concat([pooled, nn.Tensor(extras_all[:, step])],
+                                        axis=-1))
             logits = self.seg_head(z) + nn.Tensor(log_mask[:, step, :])
             log_probs = nn.log_softmax(logits, axis=-1)
             ratios = self.ratio_head(z).relu().reshape(-1)

@@ -65,21 +65,15 @@ class RNNRecoveryModel(RecoveryModel):
         _, h = self._encode(batch)
         states = [h for _ in range(len(self.cells))]
 
-        guide = self._normalise_guides(batch.guide_xy)
+        # Step fraction + guide + observed flag for every step at once,
+        # in the compute dtype (bitwise equal to the per-step build).
+        extras_all = self._step_extras(batch)
         prev_segments = batch.tgt_segments[:, 0].copy()
         prev_ratios = nn.Tensor(batch.tgt_ratios[:, 0].copy())
-        denominator = max(1, t - 1)
 
         step_logs, step_ratios, step_segments = [], [], []
         for step in range(t):
-            extras = np.concatenate(
-                [
-                    np.full((b, 1), step / denominator),
-                    guide[:, step, :],
-                    batch.observed_flags[:, step : step + 1].astype(np.float64),
-                ],
-                axis=1,
-            )
+            extras = extras_all[:, step]
             z = nn.concat(
                 [self.seg_embedding(prev_segments), prev_ratios.reshape(-1, 1),
                  nn.Tensor(extras)],

@@ -132,22 +132,16 @@ class RNTrajRecModel(RecoveryModel):
         encoder_states, h = self._encode(batch)
 
         seg_table = self.refined_segment_embeddings()  # (S, E)
-        guide = self._normalise_guides(batch.guide_xy)
+        # Step fraction + guide + observed flag for every step at once,
+        # in the compute dtype (bitwise equal to the per-step build).
+        extras_all = self._step_extras(batch)
         prev_segments = batch.tgt_segments[:, 0].copy()
         prev_ratios = nn.Tensor(batch.tgt_ratios[:, 0].copy())
-        denominator = max(1, t - 1)
 
         step_logs, step_ratios, step_segments = [], [], []
         for step in range(t):
             context, _ = self.attention(h, encoder_states, mask=batch.obs_mask)
-            extras = np.concatenate(
-                [
-                    np.full((b, 1), step / denominator),
-                    guide[:, step, :],
-                    batch.observed_flags[:, step : step + 1].astype(np.float64),
-                ],
-                axis=1,
-            )
+            extras = extras_all[:, step]
             prev_emb = seg_table[prev_segments]  # differentiable row gather
             z = nn.concat(
                 [prev_emb, prev_ratios.reshape(-1, 1), nn.Tensor(extras), context],

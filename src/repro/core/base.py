@@ -153,7 +153,7 @@ class RecoveryModel(nn.Module):
         b, t = batch.tgt_segments.shape
         guide = self._normalise_guides(batch.guide_xy)
         fractions = np.arange(t, dtype=np.float64) / max(1, t - 1)
-        return np.concatenate(
+        extras = np.concatenate(
             [
                 np.broadcast_to(fractions[None, :, None], (b, t, 1)),
                 guide,
@@ -161,6 +161,10 @@ class RecoveryModel(nn.Module):
             ],
             axis=-1,
         )
+        # Built in float64 (guide normalisation reads float64 planar
+        # coordinates), handed to the decode kernels in the compute
+        # dtype — one cast here instead of an upcast every step.
+        return extras.astype(nn.get_compute_dtype(), copy=False)
 
     def _normalise_guides(self, guide_xy: np.ndarray) -> np.ndarray:
         """Map guide positions into roughly [-1, 1] model coordinates."""

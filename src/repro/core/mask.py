@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Batch
+from ..nn.dtypes import get_compute_dtype
 from ..nn.fusion import sparse_masks_enabled
 from ..spatial.geometry import Point
 from ..spatial.index import SegmentIndex
@@ -113,7 +114,8 @@ class SparseConstraintMask:
         """The disabled-mask representation (all-zero log weights)."""
         rows = int(np.prod(shape[:-1]))
         return cls(shape, np.zeros(rows + 1, dtype=np.int64),
-                   np.empty(0, dtype=np.int64), np.empty(0), floor=0.0,
+                   np.empty(0, dtype=np.int64),
+                   np.empty(0, dtype=get_compute_dtype()), floor=0.0,
                    identity=True)
 
     @property
@@ -160,11 +162,15 @@ class SparseConstraintMask:
                                     self.log_values[pos], floor=self.floor)
 
     def to_dense(self) -> np.ndarray:
-        """The equivalent dense log-mask array (tests / reference path)."""
+        """The equivalent dense log-mask array (tests / reference path).
+
+        Densifies in the mask's own value dtype (= the compute dtype it
+        was built under)."""
         if self.identity:
-            return np.zeros(self.shape)
+            return np.zeros(self.shape, dtype=self.log_values.dtype)
         s = self.shape[-1]
-        out = np.full((self.n_rows, s), self.floor)
+        out = np.full((self.n_rows, s), self.floor,
+                      dtype=self.log_values.dtype)
         lens = np.diff(self.indptr)
         nz_rows = np.repeat(np.arange(self.n_rows), lens)
         out[nz_rows, self.indices] = self.log_values
@@ -211,6 +217,11 @@ class ConstraintMaskBuilder:
         self._sp_indices = np.empty(0, dtype=np.int64)
         self._sp_values = np.empty(0)
         self._sp_used = 0  # valid prefix length of the index/value pools
+        # Lazily maintained compute-dtype mirror of the float64 value
+        # pool (only materialised when the compute dtype is reduced, so
+        # float32 builds gather from a float32 pool — one copy, not two).
+        self._sp_values_cast: np.ndarray | None = None
+        self._sp_cast_used = 0
         # Sorted encoded-key index for vectorized batch lookups: once a
         # batch's keys are all known, building is pure searchsorted+gather.
         self._enc_sorted = np.empty(0, dtype=np.int64)
@@ -331,13 +342,24 @@ class ConstraintMaskBuilder:
         return log_mask
 
     def _densify_rows(self) -> None:
-        """Fill the dense row matrix for every pool row not yet densified."""
+        """Fill the dense row matrix for every pool row not yet densified.
+
+        The matrix is kept in the active compute dtype (rows fill from
+        the float64 pool with one cast per entry on assignment); when
+        the compute dtype changes between builds the matrix re-densifies
+        from scratch — a rare, experiment-setup-time event.
+        """
+        dtype = get_compute_dtype()
+        if self._row_matrix.dtype != dtype:
+            self._row_matrix = np.empty((0, self.network.num_segments),
+                                        dtype=dtype)
+            self._dense_rows = 0
         n = len(self._key_to_row)
         if self._dense_rows >= n:
             return
         if n > self._row_matrix.shape[0]:  # grow geometrically
             capacity = max(64, 2 * self._row_matrix.shape[0], n)
-            grown = np.empty((capacity, self.network.num_segments))
+            grown = np.empty((capacity, self.network.num_segments), dtype=dtype)
             grown[: self._dense_rows] = self._row_matrix[: self._dense_rows]
             self._row_matrix = grown
         for idx in range(self._dense_rows, n):
@@ -379,10 +401,27 @@ class ConstraintMaskBuilder:
         b, t = batch.guide_xy.shape[:2]
         num_segments = self.network.num_segments
         if self.identity:
-            return np.zeros((b, t, num_segments))
+            return np.zeros((b, t, num_segments), dtype=get_compute_dtype())
         rows = self._batch_rows(batch)
         self._densify_rows()
         return self._row_matrix[rows].reshape(b, t, num_segments)
+
+    def _values_pool(self) -> np.ndarray:
+        """The value pool in the active compute dtype.
+
+        float64 compute reads the master pool directly; a reduced
+        compute dtype reads a cast mirror that is re-materialised
+        whenever the pool grew (or the dtype changed) since last time.
+        """
+        dtype = get_compute_dtype()
+        if dtype == self._sp_values.dtype:
+            return self._sp_values
+        if (self._sp_values_cast is None
+                or self._sp_values_cast.dtype != dtype
+                or self._sp_cast_used != self._sp_used):
+            self._sp_values_cast = self._sp_values[: self._sp_used].astype(dtype)
+            self._sp_cast_used = self._sp_used
+        return self._sp_values_cast
 
     def build_sparse(self, batch: Batch) -> SparseConstraintMask:
         """CSR log mask for a whole batch, straight from the sparse pool.
@@ -390,7 +429,7 @@ class ConstraintMaskBuilder:
         One searchsorted key lookup plus one pooled gather; neither the
         dense ``(B, T, S)`` mask nor the ``(U, S)`` row matrix is ever
         materialised.  Values are bit-identical to the active entries of
-        :meth:`build`'s output.
+        :meth:`build`'s output, in the active compute dtype.
         """
         b, t = batch.guide_xy.shape[:2]
         num_segments = self.network.num_segments
@@ -400,7 +439,7 @@ class ConstraintMaskBuilder:
         indptr, pos = _gather_csr(self._sp_starts[rows], self._sp_lens[rows])
         return SparseConstraintMask(
             (b, t, num_segments), indptr, self._sp_indices[pos],
-            self._sp_values[pos], floor=_FLOOR_LOG,
+            self._values_pool()[pos], floor=_FLOOR_LOG,
         )
 
     def build_for(self, batch: Batch, model=None):
@@ -446,7 +485,8 @@ class ConstraintMaskBuilder:
         hot-path benchmark; ``build`` produces identical values.
         """
         b, t = batch.guide_xy.shape[:2]
-        out = np.empty((b, t, self.network.num_segments))
+        out = np.empty((b, t, self.network.num_segments),
+                       dtype=get_compute_dtype())
         for i in range(b):
             for j in range(t):
                 out[i, j] = self.log_mask_for_point(
@@ -463,6 +503,8 @@ class ConstraintMaskBuilder:
         self._sp_indices = np.empty(0, dtype=np.int64)
         self._sp_values = np.empty(0)
         self._sp_used = 0
+        self._sp_values_cast = None
+        self._sp_cast_used = 0
         self._row_matrix = np.empty((0, self.network.num_segments))
         self._dense_rows = 0
         self._enc_sorted = np.empty(0, dtype=np.int64)

@@ -209,10 +209,17 @@ class LightweightSTOperator(nn.Module):
         if self.seg_head.bias is not None:
             logits += self.seg_head.bias.data
         if isinstance(log_mask_t, np.ndarray):
+            # Raw mirror of the tape masked_log_softmax, including its
+            # float64 normaliser accumulation (rounded back in place at
+            # reduced compute dtypes), so packed decode reproduces the
+            # tape path's bits at any precision.
+            if log_mask_t.dtype != logits.dtype:
+                log_mask_t = log_mask_t.astype(logits.dtype)
             masked = logits + log_mask_t
             shifted = masked - masked.max(axis=-1, keepdims=True)
-            log_probs = shifted - np.log(
-                np.exp(shifted).sum(axis=-1, keepdims=True))
+            shifted -= np.log(np.exp(shifted).sum(axis=-1, keepdims=True,
+                                                  dtype=np.float64))
+            log_probs = shifted
         else:
             log_probs = nn.sparse_masked_log_probs(logits, log_mask_t)
         return next_states, h_d, log_probs

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+from ..nn.dtypes import get_compute_dtype
 from ..spatial.grid import Grid
 from ..spatial.roadnet import RoadNetwork
 from .downsample import downsample
@@ -48,13 +49,19 @@ class RecoveryExample:
 
 @dataclass(frozen=True)
 class Batch:
-    """A padded mini-batch of recovery examples."""
+    """A padded mini-batch of recovery examples.
+
+    Model-input float fields (``obs_feats``, ``tgt_ratios``) collate in
+    the active *compute dtype* (:func:`repro.nn.set_compute_dtype`) so
+    float32 runs never pay a float64 copy per batch; ``guide_xy`` stays
+    float64 — it feeds spatial mask building, not model kernels.
+    """
 
     obs_cells: np.ndarray  # (B, To) int64
-    obs_feats: np.ndarray  # (B, To, 2) float64: [tid fraction, gap fraction]
+    obs_feats: np.ndarray  # (B, To, 2) compute dtype: [tid frac, gap frac]
     obs_mask: np.ndarray  # (B, To) bool
     tgt_segments: np.ndarray  # (B, T) int64
-    tgt_ratios: np.ndarray  # (B, T) float64
+    tgt_ratios: np.ndarray  # (B, T) compute dtype
     tgt_mask: np.ndarray  # (B, T) bool - valid (non-padding) timesteps
     observed_flags: np.ndarray  # (B, T) bool
     guide_xy: np.ndarray  # (B, T, 2) float64
@@ -218,12 +225,17 @@ class TrajectoryDataset:
         self._batch_cache.clear()
 
     def _collate_cached(self, key: tuple[int, ...]) -> Batch:
-        """Collate the examples at ``key``, memoising per index tuple."""
+        """Collate the examples at ``key``, memoising per index tuple.
+
+        The memo key carries the compute dtype: flipping the dtype
+        mid-run re-collates instead of serving stale-precision arrays.
+        """
+        key = (get_compute_dtype().char,) + key
         batch = self._batch_cache.get(key)
         if batch is not None:
             self._batch_cache.move_to_end(key)
             return batch
-        batch = self._collate([self.examples[i] for i in key])
+        batch = self._collate([self.examples[i] for i in key[1:]])
         for spec in fields(Batch):  # shared across callers: freeze
             getattr(batch, spec.name).flags.writeable = False
         self._batch_cache[key] = batch
@@ -235,11 +247,12 @@ class TrajectoryDataset:
         b = len(chunk)
         to = max(e.num_observed for e in chunk)
         t = max(e.full_length for e in chunk)
+        dtype = get_compute_dtype()
         obs_cells = np.zeros((b, to), dtype=np.int64)
-        obs_feats = np.zeros((b, to, 2), dtype=np.float64)
+        obs_feats = np.zeros((b, to, 2), dtype=dtype)
         obs_mask = np.zeros((b, to), dtype=bool)
         tgt_segments = np.zeros((b, t), dtype=np.int64)
-        tgt_ratios = np.zeros((b, t), dtype=np.float64)
+        tgt_ratios = np.zeros((b, t), dtype=dtype)
         tgt_mask = np.zeros((b, t), dtype=bool)
         observed_flags = np.zeros((b, t), dtype=bool)
         guide_xy = np.zeros((b, t, 2), dtype=np.float64)

@@ -106,6 +106,13 @@ def main(argv: list[str] | None = None) -> int:
                              "trajectories during evaluation (results are "
                              "identical; default: the scale's setting, "
                              "0 = unbounded)")
+    parser.add_argument("--compute-dtype", choices=["float32", "float64"],
+                        default=None,
+                        help="kernel/tensor precision for training and "
+                             "inference (float32: mixed-precision substrate "
+                             "with float64 accumulations and optimizer "
+                             "master state; default: the scale's setting, "
+                             "float64 = bitwise reference)")
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -113,6 +120,8 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, workers=args.workers)
     if args.decode_batch is not None:
         scale = dataclasses.replace(scale, decode_batch=args.decode_batch)
+    if args.compute_dtype is not None:
+        scale = dataclasses.replace(scale, compute_dtype=args.compute_dtype)
     context = ExperimentContext(scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import nn
 from ..baselines import make_model_factory
 from ..baselines.centralized import train_centralized
 from ..core import (
@@ -60,6 +61,7 @@ class ExperimentScale:
     seed: int = 7
     workers: int = 0  # > 0: process-pool round runner (identical results)
     decode_batch: int = 0  # > 0: bound the packed-decode working set
+    compute_dtype: str = "float64"  # "float32": mixed-precision substrate
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -204,33 +206,40 @@ class ExperimentContext:
         bit-identical to the serial run, only wall-clock changes.
         ``decode_batch`` (default: the scale's setting; 0 = unbounded)
         caps how many trajectories the evaluation's packed decode steps
-        together — a memory knob, not an accuracy knob.
+        together — a memory knob, not an accuracy knob.  The scale's
+        ``compute_dtype`` scopes the whole run (model construction,
+        training, and evaluation) to that kernel precision; ``float64``
+        (the default) is the bitwise reference substrate.
         """
         clients, global_test = self.federation(dataset_name, keep_ratio, num_clients)
         config = self.model_config(dataset_name)
         mask = self.mask_builder(dataset_name, identity=mask_identity)
-        factory = make_model_factory(method, config, self.dataset(dataset_name).network,
-                                     seed=self.scale.seed + 29)
-        meta = use_meta if use_meta is not None else (method == "LightTR")
-        fed_config = self.federated_config(use_meta=meta,
-                                           client_fraction=client_fraction,
-                                           lambda0=lambda0, lt=lt, rounds=rounds,
-                                           dynamic_lambda=dynamic_lambda,
-                                           workers=workers)
-        start = time.perf_counter()
-        if isolated:
-            result: FederatedResult = train_isolated_then_average(
-                factory, clients, mask, fed_config, global_test,
-                seed=self.scale.seed,
-            )
-        else:
-            result = FederatedTrainer(factory, clients, mask, fed_config,
-                                      global_test, seed=self.scale.seed).run()
-        elapsed = time.perf_counter() - start
-        if decode_batch is None:
-            decode_batch = self.scale.decode_batch
-        row = evaluate_model(result.global_model, mask, global_test,
-                             decode_batch=decode_batch or None)
+        with nn.use_compute_dtype(self.scale.compute_dtype):
+            factory = make_model_factory(method, config,
+                                         self.dataset(dataset_name).network,
+                                         seed=self.scale.seed + 29)
+            meta = use_meta if use_meta is not None else (method == "LightTR")
+            fed_config = self.federated_config(use_meta=meta,
+                                               client_fraction=client_fraction,
+                                               lambda0=lambda0, lt=lt,
+                                               rounds=rounds,
+                                               dynamic_lambda=dynamic_lambda,
+                                               workers=workers)
+            start = time.perf_counter()
+            if isolated:
+                result: FederatedResult = train_isolated_then_average(
+                    factory, clients, mask, fed_config, global_test,
+                    seed=self.scale.seed,
+                )
+            else:
+                result = FederatedTrainer(factory, clients, mask, fed_config,
+                                          global_test,
+                                          seed=self.scale.seed).run()
+            elapsed = time.perf_counter() - start
+            if decode_batch is None:
+                decode_batch = self.scale.decode_batch
+            row = evaluate_model(result.global_model, mask, global_test,
+                                 decode_batch=decode_batch or None)
         return MethodRun(
             method=method, dataset=dataset_name, keep_ratio=keep_ratio,
             metrics=row, elapsed_seconds=elapsed,
@@ -300,16 +309,20 @@ def run_centralized_comparison(context: ExperimentContext,
             clients, global_test = context.federation(dataset, keep)
             config = context.model_config(dataset)
             mask = context.mask_builder(dataset)
-            factory = make_model_factory("MTrajRec", config,
-                                         context.dataset(dataset).network,
-                                         seed=context.scale.seed + 29)
-            total_epochs = context.scale.rounds * context.scale.local_epochs
-            start = time.perf_counter()
-            model = train_centralized(factory, clients, mask,
-                                      context.training_config(), total_epochs,
-                                      seed=context.scale.seed)
-            elapsed = time.perf_counter() - start
-            row = evaluate_model(model, mask, global_test)
+            # The centralized leg bypasses run_method, so scope the
+            # compute dtype here too — Table VI must compare both
+            # methods on the same substrate.
+            with nn.use_compute_dtype(context.scale.compute_dtype):
+                factory = make_model_factory("MTrajRec", config,
+                                             context.dataset(dataset).network,
+                                             seed=context.scale.seed + 29)
+                total_epochs = context.scale.rounds * context.scale.local_epochs
+                start = time.perf_counter()
+                model = train_centralized(factory, clients, mask,
+                                          context.training_config(), total_epochs,
+                                          seed=context.scale.seed)
+                elapsed = time.perf_counter() - start
+                row = evaluate_model(model, mask, global_test)
             runs.append(MethodRun(
                 method="MTrajRec(centralized)", dataset=dataset, keep_ratio=keep,
                 metrics=row, elapsed_seconds=elapsed, comm_bytes=0,
@@ -414,17 +427,22 @@ def run_case_study(context: ExperimentContext, dataset_name: str = "tdrive",
     observed_xy = example.obs_xy.copy()
 
     predictions: dict[str, np.ndarray] = {}
-    for method in methods:
-        run_cfg = context.federated_config(use_meta=(method == "LightTR"))
-        factory = make_model_factory(method, context.model_config(dataset_name),
-                                     network, seed=context.scale.seed + 29)
-        result = FederatedTrainer(factory, clients, mask, run_cfg, global_test,
-                                  seed=context.scale.seed).run()
-        recovery = TrajectoryRecovery(result.global_model, mask)
-        recovered = recovery.recover_dataset(single)[0].trajectory
-        predictions[method] = np.array([
-            [p.x, p.y] for p in recovered.positions(network)
-        ])
+    # Trains its own models rather than going through run_method, so
+    # scope the compute dtype here too.
+    with nn.use_compute_dtype(context.scale.compute_dtype):
+        for method in methods:
+            run_cfg = context.federated_config(use_meta=(method == "LightTR"))
+            factory = make_model_factory(method,
+                                         context.model_config(dataset_name),
+                                         network, seed=context.scale.seed + 29)
+            result = FederatedTrainer(factory, clients, mask, run_cfg,
+                                      global_test,
+                                      seed=context.scale.seed).run()
+            recovery = TrajectoryRecovery(result.global_model, mask)
+            recovered = recovery.recover_dataset(single)[0].trajectory
+            predictions[method] = np.array([
+                [p.x, p.y] for p in recovered.positions(network)
+            ])
     return {
         "ground_truth": truth_xy,
         "observed": observed_xy,

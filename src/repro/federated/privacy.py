@@ -57,6 +57,10 @@ class GaussianMechanism:
         delta, its norm, the clipping, and the noise are all single
         vectorized operations on ``(P,)`` arrays.
         """
+        # Deliberate float64 upcast (not a hot-path leak): clipping norms
+        # and noise calibration run at master precision whatever the
+        # compute/exchange dtypes; the trainer re-casts the privatised
+        # vector to the exchange dtype before aggregation.
         local_flat = np.asarray(local_flat, dtype=np.float64)
         global_flat = np.asarray(global_flat, dtype=np.float64)
         if local_flat.shape != global_flat.shape:

@@ -32,9 +32,10 @@ round histories and final global parameters:
 * tasks also re-assert the process-global switches inside the worker —
   the kernel-fusion flag, the sparse-constraint-mask flag, the
   packed-decode flag (the accuracy gates of Algorithm 2 run inference
-  through :mod:`repro.serving`), and the exchange dtype — so both sides
-  run the same kernels over the same mask representation at the same
-  precision;
+  through :mod:`repro.serving`), the exchange dtype, and the compute
+  dtype (worker-side models are cast in place if the parent flipped it
+  after pool start-up) — so both sides run the same kernels over the
+  same mask representation at the same precision;
 * the trainer submits tasks in ascending client-id order and the
   runners return results in task order, so aggregation order never
   depends on completion order.
@@ -44,7 +45,7 @@ RoundTask shipping contract
 A :class:`RoundTask` must stay cheap to pickle and self-sufficient: the
 flat ``(P,)`` global vector, the client id, the local epoch count, the
 frozen teacher's flat state (or ``None``), the client's session
-snapshot (or ``None`` for in-process execution), and the four global
+snapshot (or ``None`` for in-process execution), and the five global
 switches above.  Heavy, rebuildable objects never ride on tasks — the
 datasets, road network, and constraint-mask builder travel once in the
 :class:`WorkerSetup` (the builder pickles *cache-free*: its sparse row
@@ -127,6 +128,7 @@ class RoundTask:
     sparse_masks: bool = True
     packed_decode: bool = True
     exchange_dtype: str = "float64"
+    compute_dtype: str = "float64"
 
 
 @dataclass(frozen=True)
@@ -245,25 +247,57 @@ class _WorkerState:
             lt=self.setup.lt, dynamic=self.setup.dynamic_lambda,
         )
 
+    def _ensure_model_dtype(self) -> None:
+        """Align the worker's long-lived models with the active compute
+        dtype.
+
+        The worker model is built once at pool start-up; if the parent
+        flips the compute dtype between rounds, later tasks would run a
+        stale-precision model (float32 inputs against float64 weights
+        silently upcast every kernel).  Casting parameters in place
+        keeps every existing FlatParameterSpace view valid.
+        """
+        dtype = nn.get_compute_dtype()
+        for model in (self.model, self.teacher):
+            if model is None:
+                continue
+            for p in model.parameters():
+                if p.data.dtype != dtype:
+                    p.data = p.data.astype(dtype)
+
     def execute(self, task: RoundTask) -> RoundResult:
         # Mirror the parent's process-global switches so both backends
         # run identical kernels over the same mask representation at
-        # identical wire precision.
-        nn.set_fused_kernels(task.fused_kernels)
-        nn.set_sparse_masks(task.sparse_masks)
-        nn.set_packed_decode(task.packed_decode)
-        nn.set_default_dtype(task.exchange_dtype)
-        client = self._client(task.client_id)
-        if task.session is not None:
-            client.load_session_state(task.session)
-        client.receive_global_flat(task.global_flat)
-        distiller = self._distiller(task.teacher_flat)
-        flat, metrics = client.local_train_flat(task.epochs, distiller)
-        params_flat = None
-        if np.dtype(task.exchange_dtype) != np.float64:
-            params_flat = client.flat_parameters(dtype=np.float64)
-        return RoundResult(task.client_id, flat, metrics,
-                           client.session_state(), params_flat)
+        # identical compute and wire precision.  The previous values are
+        # restored afterwards: every task re-asserts its own flags, so
+        # worker processes lose nothing, and in-process execution (tests,
+        # debugging) cannot leak a task's flags into the caller.
+        previous = (
+            nn.set_fused_kernels(task.fused_kernels),
+            nn.set_sparse_masks(task.sparse_masks),
+            nn.set_packed_decode(task.packed_decode),
+            nn.set_default_dtype(task.exchange_dtype),
+            nn.set_compute_dtype(task.compute_dtype),
+        )
+        try:
+            self._ensure_model_dtype()
+            client = self._client(task.client_id)
+            if task.session is not None:
+                client.load_session_state(task.session)
+            client.receive_global_flat(task.global_flat)
+            distiller = self._distiller(task.teacher_flat)
+            flat, metrics = client.local_train_flat(task.epochs, distiller)
+            params_flat = None
+            if np.dtype(task.exchange_dtype) != np.float64:
+                params_flat = client.flat_parameters(dtype=np.float64)
+            return RoundResult(task.client_id, flat, metrics,
+                               client.session_state(), params_flat)
+        finally:
+            nn.set_fused_kernels(previous[0])
+            nn.set_sparse_masks(previous[1])
+            nn.set_packed_decode(previous[2])
+            nn.set_default_dtype(previous[3])
+            nn.set_compute_dtype(previous[4])
 
 
 class ProcessPoolRunner(RoundRunner):

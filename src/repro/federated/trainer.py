@@ -292,6 +292,7 @@ class FederatedTrainer:
                 sparse_masks=nn.sparse_masks_enabled(),
                 packed_decode=nn.packed_decode_enabled(),
                 exchange_dtype=nn.get_default_dtype().name,
+                compute_dtype=nn.get_compute_dtype().name,
             )
             for client_id in selected  # ascending: fixes aggregation order
         ]

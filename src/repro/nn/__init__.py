@@ -20,7 +20,14 @@ equivalence tests; both paths produce matching outputs and gradients
 """
 
 from .attention import AdditiveAttention, SelfAttention, scaled_dot_product_attention
-from .dtypes import get_default_dtype, set_default_dtype, use_default_dtype
+from .dtypes import (
+    get_compute_dtype,
+    get_default_dtype,
+    set_compute_dtype,
+    set_default_dtype,
+    use_compute_dtype,
+    use_default_dtype,
+)
 from .flatten import FlatLayout, FlatParameterSpace
 from .flops import (
     CostReport,
@@ -92,7 +99,8 @@ __all__ = [
     "fused_kernels_enabled", "set_fused_kernels", "use_fused_kernels",
     "sparse_masks_enabled", "set_sparse_masks", "use_sparse_masks",
     "packed_decode_enabled", "set_packed_decode", "use_packed_decode",
-    # exchange dtype switch
+    # precision switches (compute + exchange)
+    "get_compute_dtype", "set_compute_dtype", "use_compute_dtype",
     "get_default_dtype", "set_default_dtype", "use_default_dtype",
     # attention
     "AdditiveAttention", "SelfAttention", "scaled_dot_product_attention",

@@ -1,25 +1,41 @@
-"""Exchange-precision switch for flat parameter vectors.
+"""Two-level precision config: *compute* dtype and *exchange* dtype.
 
-The training substrate is float64 end to end (parameters, gradients,
-optimiser moments).  Communication does not have to be: a federated
-upload is just a snapshot of the parameters, and shipping it as float32
-halves the bytes on the wire at ~1e-7 relative rounding - far below the
-noise floor of stochastic training.
+The substrate distinguishes two precisions:
 
-:func:`set_default_dtype` controls the *exchange* dtype: the dtype that
+**Compute dtype** (:func:`set_compute_dtype`, default ``float64``) is
+the dtype of everything the hot loops touch: :class:`~repro.nn.tensor.Tensor`
+data (parameters, activations, gradients), the fused RNN/GRU/LSTM scan
+buffers, constraint-mask arrays, and the packed decode engine's state.
+Setting it to ``float32`` halves the memory traffic of every kernel the
+perf PRs made compute-bound.  Numerically sensitive *accumulations*
+stay float64 regardless — the log-softmax normalisers (dense, masked,
+and CSR-sparse), loss reductions (:meth:`Tensor.sum` accumulates in
+float64), and the bias-gradient reductions of the fused BPTT scans —
+so float32 runs round once per reduction instead of drifting term by
+term.  Optimisers are mixed-precision by contract: moments and the
+flat update arithmetic are always float64 ("master" precision), and
+the update is cast to the compute dtype only when scattered back into
+the parameters (see :mod:`repro.nn.optim`).
+
+**Exchange dtype** (:func:`set_default_dtype`, default ``float64``) is
+the dtype of federated wire payloads: what
 :meth:`~repro.nn.flatten.FlatParameterSpace.get_flat` and
 :meth:`~repro.nn.flatten.FlatLayout.flatten_state` allocate when the
-caller does not supply an output buffer.  This is deliberately the
-first slice of a wider float32 story (see ROADMAP): model parameters
-and optimiser math stay float64 (optimisers pass their own float64
-buffers via ``out=``), so training numerics - and therefore every
-equivalence test tolerance - are unchanged.  Only the federated
-broadcast/upload payloads travel at the configured precision;
-scattering a float32 vector back into parameters upcasts on assignment.
+caller does not supply an output buffer.  ``float32`` halves the bytes
+of every broadcast/upload while server-side aggregation still runs in
+float64 (optimisers pass their own float64 buffers via ``out=``).
 
-The flag is process-global.  Parallel round runners re-assert it inside
-every worker task (see :mod:`repro.federated.runner`), so serial and
-process-pool federated runs see the identical wire precision.
+The two knobs are independent: a float64-compute run can ship float32
+payloads (PR 2's original knob), and a float32-compute run still
+aggregates uploads in float64.  With both at ``float64`` every code
+path is bitwise identical to the pre-mixed-precision tree — float64 is
+the reference substrate.
+
+Both flags are process-global.  Parallel round runners re-assert them
+inside every worker task (see :mod:`repro.federated.runner`), so serial
+and process-pool federated runs see identical kernel precision and
+wire precision.  Set the compute dtype *before* building models:
+parameters adopt the dtype active at construction time.
 """
 
 from __future__ import annotations
@@ -28,33 +44,78 @@ import contextlib
 
 import numpy as np
 
-__all__ = ["get_default_dtype", "set_default_dtype", "use_default_dtype"]
+__all__ = [
+    "get_compute_dtype", "set_compute_dtype", "use_compute_dtype",
+    "get_default_dtype", "set_default_dtype", "use_default_dtype",
+]
 
-#: Exchange dtypes we support.  Everything else would silently corrupt
-#: integer state or lose more precision than federated averaging can
-#: absorb, so the setter validates against this set.
+#: Dtypes either level supports.  Everything else would silently corrupt
+#: integer state or lose more precision than the tolerance audit (or
+#: federated averaging) can absorb, so the setters validate against it.
 _ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
 
-_DEFAULT_DTYPE = np.dtype(np.float64)
+#: Read directly (as ``dtypes._COMPUTE_DTYPE``) by Tensor construction,
+#: which is too hot for a function call per node.
+_COMPUTE_DTYPE = np.dtype(np.float64)
+
+_EXCHANGE_DTYPE = np.dtype(np.float64)
 
 
+def _validated(dtype, level: str) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED:
+        raise ValueError(
+            f"unsupported {level} dtype {dtype!r}; expected one of "
+            f"{tuple(d.name for d in _ALLOWED)}"
+        )
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# compute dtype (tensor / kernel / optimizer-scatter precision)
+# ----------------------------------------------------------------------
+def get_compute_dtype() -> np.dtype:
+    """The dtype tensors, kernels, and decode state currently use."""
+    return _COMPUTE_DTYPE
+
+
+def set_compute_dtype(dtype) -> np.dtype:
+    """Set the compute dtype (``"float32"``/``"float64"``); returns the
+    previous value so callers can restore it.
+
+    Affects tensors and masks built *after* the call; set it before
+    constructing models (existing parameters keep their dtype).
+    """
+    global _COMPUTE_DTYPE
+    previous = _COMPUTE_DTYPE
+    _COMPUTE_DTYPE = _validated(dtype, "compute")
+    return previous
+
+
+@contextlib.contextmanager
+def use_compute_dtype(dtype):
+    """Context manager scoping the compute dtype (like ``no_grad``)."""
+    previous = set_compute_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_compute_dtype(previous)
+
+
+# ----------------------------------------------------------------------
+# exchange dtype (federated wire precision)
+# ----------------------------------------------------------------------
 def get_default_dtype() -> np.dtype:
     """The current exchange dtype for flat parameter vectors."""
-    return _DEFAULT_DTYPE
+    return _EXCHANGE_DTYPE
 
 
 def set_default_dtype(dtype) -> np.dtype:
     """Set the exchange dtype (``"float32"``/``"float64"``); returns the
     previous value so callers can restore it."""
-    global _DEFAULT_DTYPE
-    resolved = np.dtype(dtype)
-    if resolved not in _ALLOWED:
-        raise ValueError(
-            f"unsupported exchange dtype {dtype!r}; expected one of "
-            f"{tuple(d.name for d in _ALLOWED)}"
-        )
-    previous = _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = resolved
+    global _EXCHANGE_DTYPE
+    previous = _EXCHANGE_DTYPE
+    _EXCHANGE_DTYPE = _validated(dtype, "exchange")
     return previous
 
 

@@ -71,7 +71,7 @@ class FlatLayout:
                                              self.sizes, self.offsets):
             if name not in state:
                 raise KeyError(f"state dict is missing parameter {name!r}")
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
             if value.shape != shape:
                 raise ValueError(f"shape mismatch for {name!r} during "
                                  f"flattening: expected {shape}, got {value.shape}")
@@ -141,10 +141,12 @@ class FlatParameterSpace:
     def set_flat(self, vec: np.ndarray) -> None:
         """Scatter a ``(P,)`` vector back into the parameters (in place).
 
-        Accepts any float dtype (a float32 broadcast upcasts to the
-        float64 parameter storage on assignment).
+        Accepts any float dtype; each slice casts to its parameter's
+        storage dtype on assignment — this is the single point where
+        the optimisers' float64 master updates round to the compute
+        dtype (see :mod:`repro.nn.optim`).
         """
-        vec = np.asarray(vec, dtype=np.float64).reshape(-1)
+        vec = np.asarray(vec).reshape(-1)
         if vec.size != self.total_size:
             raise ValueError(f"flat vector has {vec.size} elements, "
                              f"space expects {self.total_size}")
@@ -153,8 +155,12 @@ class FlatParameterSpace:
             p.data[...] = vec[offset:offset + size].reshape(shape)
 
     def get_flat_grad(self, out: np.ndarray | None = None) -> np.ndarray:
-        """Gather gradients into one ``(P,)`` vector (zeros where None)."""
-        vec = out if out is not None else np.empty(self.total_size)
+        """Gather gradients into one ``(P,)`` vector (zeros where None).
+
+        Allocates float64 by default (the optimisers' master-precision
+        view; float32 gradients upcast per slice)."""
+        vec = out if out is not None else np.empty(self.total_size,
+                                                   dtype=np.float64)
         for p, size, offset in zip(self.parameters, self.layout.sizes,
                                    self.layout.offsets):
             if p.grad is None:

@@ -57,7 +57,9 @@ def addmm(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
         stage(x, (flat_grad @ w.T).reshape(a.shape))
         stage(weight, a2.T @ flat_grad)
         if bias is not None:
-            stage(bias, flat_grad.sum(axis=0))
+            # float64 accumulation over the B*T rows (rounded once at
+            # the stage hand-off); identical bits at float64 compute.
+            stage(bias, flat_grad.sum(axis=0, dtype=np.float64))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return _node(out, parents, backward)
@@ -96,11 +98,15 @@ def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    The normaliser accumulates in float64 even at float32 compute (one
+    rounding per row instead of a term-by-term float32 drift).
+    """
     x = as_tensor(x)
     out_data = x.data - x.data.max(axis=axis, keepdims=True)
     np.exp(out_data, out=out_data)
-    out_data /= out_data.sum(axis=axis, keepdims=True)
+    out_data /= out_data.sum(axis=axis, keepdims=True, dtype=np.float64)
 
     def backward(grad, stage):
         grad = np.asarray(grad)
@@ -120,7 +126,9 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     x = as_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     soft = np.exp(shifted)
-    sumexp = soft.sum(axis=axis, keepdims=True)
+    # float64 normaliser accumulation (exact at float64 compute; one
+    # rounding per row at float32 — see docs/PERFORMANCE.md precision).
+    sumexp = soft.sum(axis=axis, keepdims=True, dtype=np.float64)
     out_data = shifted
     out_data -= np.log(sumexp)
     soft /= sumexp
@@ -150,10 +158,14 @@ def masked_log_softmax(x: Tensor, log_mask, axis: int = -1) -> Tensor:
     if not isinstance(log_mask, np.ndarray):
         return _sparse_masked_log_softmax(x, log_mask, axis)
     x = as_tensor(x)
+    if log_mask.dtype != x.data.dtype:
+        # A float64 mask would silently upcast the whole softmax chain
+        # at float32 compute; cast once here instead.
+        log_mask = log_mask.astype(x.data.dtype)
     shifted = x.data + log_mask
     shifted -= shifted.max(axis=axis, keepdims=True)
     soft = np.exp(shifted)
-    sumexp = soft.sum(axis=axis, keepdims=True)
+    sumexp = soft.sum(axis=axis, keepdims=True, dtype=np.float64)
     out_data = shifted
     out_data -= np.log(sumexp)
     soft /= sumexp
@@ -188,16 +200,22 @@ def _sparse_log_probs_core(x2: np.ndarray, smask, want_soft: bool):
     indptr = smask.indptr
     lens = np.diff(indptr)
     nz_rows = np.repeat(np.arange(r), lens)
-    z_nz = x2[nz_rows, smask.indices] + smask.log_values
+    log_values = smask.log_values
+    if log_values.dtype != x2.dtype:
+        log_values = log_values.astype(x2.dtype)
+    z_nz = x2[nz_rows, smask.indices] + log_values
     nonempty = lens > 0
     soft_nz = None
-    log_z = np.empty(r, dtype=x2.dtype)
+    # Per-row normalisers accumulate in float64 regardless of the
+    # compute dtype (identical bits at float64; one rounding per row
+    # at float32 when folded back below).
+    log_z = np.empty(r, dtype=np.float64)
     if z_nz.size:
         starts = indptr[:-1][nonempty]
         seg_lens = lens[nonempty]
         seg_max = np.maximum.reduceat(z_nz, starts)
         e_nz = np.exp(z_nz - np.repeat(seg_max, seg_lens))
-        seg_sum = np.add.reduceat(e_nz, starts)
+        seg_sum = np.add.reduceat(e_nz, starts, dtype=np.float64)
         log_z[nonempty] = seg_max + np.log(seg_sum)
         if want_soft:
             e_nz /= np.repeat(seg_sum, seg_lens)
@@ -210,12 +228,15 @@ def _sparse_log_probs_core(x2: np.ndarray, smask, want_soft: bool):
         xe = x2[empty]
         max_e = xe.max(axis=1, keepdims=True)
         exp_e = np.exp(xe - max_e)
-        sum_e = exp_e.sum(axis=1, keepdims=True)
+        sum_e = exp_e.sum(axis=1, keepdims=True, dtype=np.float64)
         log_z[empty] = smask.floor + (max_e + np.log(sum_e)).ravel()
         if want_soft:
             exp_e /= sum_e
             soft_empty = exp_e
-    out = x2 + (smask.floor - log_z)[:, None]
+    adjust = smask.floor - log_z
+    if adjust.dtype != x2.dtype:
+        adjust = adjust.astype(x2.dtype)
+    out = x2 + adjust[:, None]
     out[nz_rows, smask.indices] = z_nz - log_z[nz_rows]
     return out, (nz_rows, soft_nz, empty, soft_empty)
 
@@ -262,7 +283,10 @@ def sparse_masked_log_probs(logits: np.ndarray, smask) -> np.ndarray:
     """
     if getattr(smask, "identity", False):
         shifted = logits - logits.max(axis=-1, keepdims=True)
-        return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        # Mirror of log_softmax: float64 normaliser, rounded in place.
+        shifted -= np.log(np.exp(shifted).sum(axis=-1, keepdims=True,
+                                              dtype=np.float64))
+        return shifted
     out, _ = _sparse_log_probs_core(
         logits.reshape(-1, logits.shape[-1]), smask, want_soft=False
     )
@@ -336,7 +360,10 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+    # Draw float64 (identical RNG stream at any compute dtype), then
+    # match the keep-scale to x so the multiply does not upcast.
+    keep = ((rng.random(x.shape) >= p) / (1.0 - p)).astype(x.data.dtype,
+                                                           copy=False)
 
     def backward(grad, stage):
         stage(x, np.asarray(grad) * keep)

@@ -100,7 +100,10 @@ class Module:
         if missing:
             raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
         for name, param in params.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's own dtype: at float32 compute a
+            # float64 checkpoint loads as float32 (and vice versa), so
+            # loading never changes the model's compute precision.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: "

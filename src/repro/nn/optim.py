@@ -12,6 +12,22 @@ float64 rounding (verified in the tests).  When some parameters
 have no gradient (rare: a head unused by an ablation), the optimisers
 fall back to the per-parameter reference loop to preserve the exact
 "skip params without grads" semantics.
+
+Master-weight contract (mixed precision)
+----------------------------------------
+At ``float32`` compute (:func:`repro.nn.set_compute_dtype`) the
+parameters and gradients live in float32, but the optimiser state never
+does: the gather buffers and the moment vectors are **always float64**,
+gradients upcast into them at gather time, the whole update rule runs
+in float64, and the result is cast back to the parameter dtype only at
+the final :meth:`FlatParameterSpace.set_flat` scatter.  This keeps
+federated histories aggregation-stable — shipped session state
+(:meth:`Optimizer.state_flat`) is float64 at any compute dtype, so
+serial and process-pool rounds stay bit-identical to each other — and
+confines the float32 rounding to one cast per parameter per step.  The
+float64 master view is re-materialised from the parameters each step
+(sub-float32 parameter residuals are not carried between steps; the
+moments, which drive the update direction, are).
 """
 
 from __future__ import annotations
@@ -35,9 +51,10 @@ class Optimizer:
             raise ValueError("optimizer received no parameters")
         self.lr = lr
         self._space = FlatParameterSpace(self.parameters)
-        # Reused gather buffers (avoid reallocating (P,) arrays per step).
-        self._theta = np.empty(self._space.total_size)
-        self._grad = np.empty(self._space.total_size)
+        # Reused float64 master-view gather buffers (avoid reallocating
+        # (P,) arrays per step; float32 params/grads upcast per slice).
+        self._theta = np.empty(self._space.total_size, dtype=np.float64)
+        self._grad = np.empty(self._space.total_size, dtype=np.float64)
 
     def _param_views(self, flat: np.ndarray) -> list[np.ndarray]:
         """Per-parameter reshaped views into a flat buffer."""
@@ -89,7 +106,7 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity_flat = np.zeros(self._space.total_size)
+        self._velocity_flat = np.zeros(self._space.total_size, dtype=np.float64)
         self._velocity = self._param_views(self._velocity_flat)
 
     def state_flat(self) -> dict:
@@ -117,14 +134,17 @@ class SGD(Optimizer):
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
-            grad = p.grad
+            grad = np.asarray(p.grad, dtype=np.float64)
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
                 v *= self.momentum
                 v += grad
                 grad = v
-            p.data = p.data - self.lr * grad
+            # Update in float64, cast back at the parameter write (the
+            # same contract as the flat path's set_flat scatter).
+            p.data = (p.data - self.lr * grad).astype(p.data.dtype,
+                                                      copy=False)
 
 
 class Adam(Optimizer):
@@ -137,12 +157,12 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m_flat = np.zeros(self._space.total_size)
-        self._v_flat = np.zeros(self._space.total_size)
+        self._m_flat = np.zeros(self._space.total_size, dtype=np.float64)
+        self._v_flat = np.zeros(self._space.total_size, dtype=np.float64)
         self._m = self._param_views(self._m_flat)
         self._v = self._param_views(self._v_flat)
-        self._denom = np.empty(self._space.total_size)
-        self._update = np.empty(self._space.total_size)
+        self._denom = np.empty(self._space.total_size, dtype=np.float64)
+        self._update = np.empty(self._space.total_size, dtype=np.float64)
         self._t = 0
 
     def state_flat(self) -> dict:
@@ -187,7 +207,7 @@ class Adam(Optimizer):
         for p, m, v in zip(self.parameters, self._m, self._v):
             if p.grad is None:
                 continue
-            grad = p.grad
+            grad = np.asarray(p.grad, dtype=np.float64)
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             m *= self.beta1
@@ -196,7 +216,10 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias1
             v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Update in float64, cast back at the parameter write.
+            p.data = (p.data - self.lr * m_hat
+                      / (np.sqrt(v_hat) + self.eps)).astype(p.data.dtype,
+                                                            copy=False)
 
 
 def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:

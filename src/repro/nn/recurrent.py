@@ -37,11 +37,16 @@ __all__ = [
 ]
 
 
-def _mask_keep(mask: np.ndarray | None, batch: int, steps: int) -> np.ndarray | None:
-    """Validity mask as float ``(B, T, 1)`` for broadcasting, or None."""
+def _mask_keep(mask: np.ndarray | None, batch: int, steps: int,
+               dtype=np.float64) -> np.ndarray | None:
+    """Validity mask as float ``(B, T, 1)`` for broadcasting, or None.
+
+    ``dtype`` follows the scan's compute dtype so the carry mix never
+    upcasts the hidden-state arithmetic.
+    """
     if mask is None:
         return None
-    return np.asarray(mask, dtype=np.float64).reshape(batch, steps, 1)
+    return np.asarray(mask, dtype=dtype).reshape(batch, steps, 1)
 
 
 # ----------------------------------------------------------------------
@@ -57,7 +62,8 @@ def fused_rnn_scan(x: Tensor, h0: Tensor, w_x: Tensor, w_h: Tensor,
     """
     batch, steps, in_dim = x.shape
     hidden = w_h.shape[0]
-    keep = _mask_keep(mask, batch, steps)
+    dtype = x.data.dtype
+    keep = _mask_keep(mask, batch, steps, dtype)
 
     # Input projection (+ bias) for every timestep in one matmul; only
     # the (B, H) @ (H, H) recurrence stays inside the time loop, written
@@ -65,11 +71,11 @@ def fused_rnn_scan(x: Tensor, h0: Tensor, w_x: Tensor, w_h: Tensor,
     xw = (x.data.reshape(batch * steps, in_dim) @ w_x.data).reshape(
         batch, steps, hidden)
     xw += bias.data
-    raw = np.empty((batch, steps, hidden))  # tanh outputs before the carry
-    hs = raw if keep is None else np.empty((batch, steps, hidden))
+    raw = np.empty((batch, steps, hidden), dtype)  # tanh pre-carry outputs
+    hs = raw if keep is None else np.empty((batch, steps, hidden), dtype)
     h = h0.data
     w_h_data = w_h.data
-    pre = np.empty((batch, hidden))
+    pre = np.empty((batch, hidden), dtype)
     for t in range(steps):
         np.matmul(h, w_h_data, out=pre)
         pre += xw[:, t]
@@ -86,9 +92,9 @@ def fused_rnn_scan(x: Tensor, h0: Tensor, w_x: Tensor, w_h: Tensor,
         # tanh derivative for every step at once (one full-array pass);
         # only the sequential dh propagation stays in the loop.
         dtanh = 1.0 - raw * raw
-        dpre = np.empty((batch, steps, hidden))
-        dh = np.zeros((batch, hidden))
-        dcarry = np.empty((batch, hidden))
+        dpre = np.empty((batch, steps, hidden), dtype)
+        dh = np.zeros((batch, hidden), dtype)
+        dcarry = np.empty((batch, hidden), dtype)
         w_h_t = w_h_data.T
         for t in range(steps - 1, -1, -1):
             np.add(grad[:, t], dh, out=dcarry)
@@ -109,7 +115,9 @@ def fused_rnn_scan(x: Tensor, h0: Tensor, w_x: Tensor, w_h: Tensor,
         stage(w_x, x.data.reshape(batch * steps, in_dim).T @ flat_dpre)
         h_prev = np.concatenate([h0.data[:, None, :], hs[:, :-1]], axis=1)
         stage(w_h, h_prev.reshape(batch * steps, hidden).T @ flat_dpre)
-        stage(bias, dpre.sum(axis=(0, 1)))
+        # Bias grads reduce over B*T terms: accumulate in float64 (the
+        # stage hand-off rounds once back to the compute dtype).
+        stage(bias, dpre.sum(axis=(0, 1), dtype=np.float64))
 
     return _node(hs, (x, h0, w_x, w_h, bias), backward)
 
@@ -125,7 +133,8 @@ def fused_gru_scan(x: Tensor, h0: Tensor, w_r: Tensor, w_z: Tensor,
     """
     batch, steps, in_dim = x.shape
     hidden = b_r.shape[0]
-    keep = _mask_keep(mask, batch, steps)
+    dtype = x.data.dtype
+    keep = _mask_keep(mask, batch, steps, dtype)
 
     w_rh, w_rx = w_r.data[:hidden], w_r.data[hidden:]
     w_zh, w_zx = w_z.data[:hidden], w_z.data[hidden:]
@@ -141,15 +150,15 @@ def fused_gru_scan(x: Tensor, h0: Tensor, w_r: Tensor, w_z: Tensor,
     xh += b_h.data
     w_gh = np.concatenate([w_rh, w_zh], axis=1)  # (H, 2H) recurrent gates
 
-    gates = np.empty((batch, steps, 2 * hidden))  # [r, z] per step
-    cand_seq = np.empty((batch, steps, hidden))  # h~ candidates
-    hs = np.empty((batch, steps, hidden))
+    gates = np.empty((batch, steps, 2 * hidden), dtype)  # [r, z] per step
+    cand_seq = np.empty((batch, steps, hidden), dtype)  # h~ candidates
+    hs = np.empty((batch, steps, hidden), dtype)
     h = h0.data
-    pre_g = np.empty((batch, 2 * hidden))
-    pre_c = np.empty((batch, hidden))
-    rh = np.empty((batch, hidden))
-    mix_a = np.empty((batch, hidden))
-    mix_b = np.empty((batch, hidden))
+    pre_g = np.empty((batch, 2 * hidden), dtype)
+    pre_c = np.empty((batch, hidden), dtype)
+    rh = np.empty((batch, hidden), dtype)
+    mix_a = np.empty((batch, hidden), dtype)
+    mix_b = np.empty((batch, hidden), dtype)
     for t in range(steps):
         # r and z in one (B, H) @ (H, 2H) matmul + in-place sigmoid.
         np.matmul(h, w_gh, out=pre_g)
@@ -179,9 +188,9 @@ def fused_gru_scan(x: Tensor, h0: Tensor, w_r: Tensor, w_z: Tensor,
         # sequential dh propagation.
         dsig = gates * (1.0 - gates)
         dtanh = 1.0 - cand_seq * cand_seq
-        dpre_g = np.empty((batch, steps, 2 * hidden))  # [r, z] pre-acts
-        dpre_h = np.empty((batch, steps, hidden))
-        dh = np.zeros((batch, hidden))
+        dpre_g = np.empty((batch, steps, 2 * hidden), dtype)  # [r, z] pre-acts
+        dpre_h = np.empty((batch, steps, hidden), dtype)
+        dh = np.zeros((batch, hidden), dtype)
         w_gh_t = w_gh.T  # (2H, H): joint [r, z] recurrent transpose
         w_hh_t = w_hh.T
         for t in range(steps - 1, -1, -1):
@@ -221,9 +230,10 @@ def fused_gru_scan(x: Tensor, h0: Tensor, w_r: Tensor, w_z: Tensor,
         stage(w_r, np.concatenate([hp.T @ fr, xf.T @ fr], axis=0))
         stage(w_z, np.concatenate([hp.T @ fz, xf.T @ fz], axis=0))
         stage(w_h, np.concatenate([rh_seq.T @ fh, xf.T @ fh], axis=0))
-        stage(b_r, fr.sum(axis=0))
-        stage(b_z, fz.sum(axis=0))
-        stage(b_h, dpre_h.sum(axis=(0, 1)))
+        # Bias grads: float64 accumulation, rounded once at the stage.
+        stage(b_r, fr.sum(axis=0, dtype=np.float64))
+        stage(b_z, fz.sum(axis=0, dtype=np.float64))
+        stage(b_h, dpre_h.sum(axis=(0, 1), dtype=np.float64))
 
     return _node(hs, (x, h0, w_r, w_z, w_h, b_r, b_z, b_h), backward)
 
@@ -240,7 +250,8 @@ def fused_lstm_scan(x: Tensor, state0: Tensor, w_i: Tensor, w_f: Tensor,
     """
     batch, steps, in_dim = x.shape
     hidden = b_i.shape[0]
-    keep = _mask_keep(mask, batch, steps)
+    dtype = x.data.dtype
+    keep = _mask_keep(mask, batch, steps, dtype)
 
     w_ih, w_ix = w_i.data[:hidden], w_i.data[hidden:]
     w_fh, w_fx = w_f.data[:hidden], w_f.data[hidden:]
@@ -252,9 +263,9 @@ def fused_lstm_scan(x: Tensor, state0: Tensor, w_i: Tensor, w_f: Tensor,
     xo = (x_flat @ w_ox).reshape(batch, steps, hidden)
     xg = (x_flat @ w_gx).reshape(batch, steps, hidden)
 
-    gates = np.empty((batch, steps, 4, hidden))  # i, f, o, g
-    tc_seq = np.empty((batch, steps, hidden))  # tanh(c_next)
-    states = np.empty((batch, steps, 2 * hidden))  # carried [h, c]
+    gates = np.empty((batch, steps, 4, hidden), dtype)  # i, f, o, g
+    tc_seq = np.empty((batch, steps, hidden), dtype)  # tanh(c_next)
+    states = np.empty((batch, steps, 2 * hidden), dtype)  # carried [h, c]
     st = state0.data
     for t in range(steps):
         h, c = st[:, :hidden], st[:, hidden:]
@@ -278,8 +289,8 @@ def fused_lstm_scan(x: Tensor, state0: Tensor, w_i: Tensor, w_f: Tensor,
 
     def backward(grad, stage):
         grad = np.asarray(grad)
-        dpre = np.empty((batch, steps, 4, hidden))  # i, f, o, g pre-acts
-        dst = np.zeros((batch, 2 * hidden))
+        dpre = np.empty((batch, steps, 4, hidden), dtype)  # i, f, o, g pre-acts
+        dst = np.zeros((batch, 2 * hidden), dtype)
         for t in range(steps - 1, -1, -1):
             st_prev = states[:, t - 1] if t > 0 else state0.data
             h_prev, c_prev = st_prev[:, :hidden], st_prev[:, hidden:]
@@ -323,10 +334,11 @@ def fused_lstm_scan(x: Tensor, state0: Tensor, w_i: Tensor, w_f: Tensor,
         stage(w_f, np.concatenate([hp.T @ ff, xfm.T @ ff], axis=0))
         stage(w_o, np.concatenate([hp.T @ fo, xfm.T @ fo], axis=0))
         stage(w_g, np.concatenate([hp.T @ fg, xfm.T @ fg], axis=0))
-        stage(b_i, dpre[:, :, 0].sum(axis=(0, 1)))
-        stage(b_f, dpre[:, :, 1].sum(axis=(0, 1)))
-        stage(b_o, dpre[:, :, 2].sum(axis=(0, 1)))
-        stage(b_g, dpre[:, :, 3].sum(axis=(0, 1)))
+        # Bias grads: float64 accumulation, rounded once at the stage.
+        stage(b_i, dpre[:, :, 0].sum(axis=(0, 1), dtype=np.float64))
+        stage(b_f, dpre[:, :, 1].sum(axis=(0, 1), dtype=np.float64))
+        stage(b_o, dpre[:, :, 2].sum(axis=(0, 1), dtype=np.float64))
+        stage(b_g, dpre[:, :, 3].sum(axis=(0, 1), dtype=np.float64))
 
     return _node(states, (x, state0, w_i, w_f, w_o, w_g, b_i, b_f, b_o, b_g),
                  backward)
@@ -521,7 +533,7 @@ class _SequenceRNN(Module):
             xt = x[:, t, :]
             h_next = self.cell(xt, h)
             if mask is not None:
-                keep = mask[:, t : t + 1].astype(np.float64)
+                keep = mask[:, t : t + 1].astype(x.data.dtype)
                 h = h_next * keep + h * (1.0 - keep)
             else:
                 h = h_next

@@ -28,6 +28,8 @@ from typing import Callable
 
 import numpy as np
 
+from . import dtypes as _dtypes
+
 __all__ = [
     "Tensor",
     "as_tensor",
@@ -68,9 +70,15 @@ def sigmoid_forward(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     than ``1/(1+exp(-clip(x)))``, which allocates five temporaries and
     pays ``np.clip``'s dispatch overhead on every call.  ``out`` may
     alias ``x`` for a fully in-place evaluation.
+
+    The clip limit is dtype-aware: ``exp`` overflows above ~709 at
+    float64 but ~88 at float32; either limit saturates the sigmoid to
+    0/1 long before it is reached, so the tighter float32 bound changes
+    no values — it only keeps the kernel overflow-free.
     """
-    z = np.maximum(x, -500.0, out=out)
-    np.minimum(z, 500.0, out=z)
+    limit = 500.0 if x.dtype == np.float64 else 80.0
+    z = np.maximum(x, -limit, out=out)
+    np.minimum(z, limit, out=z)
     np.negative(z, out=z)
     np.exp(z, out=z)
     z += 1.0
@@ -111,7 +119,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to ``numpy.ndarray`` (stored as float64).
+        Anything convertible to ``numpy.ndarray``; stored in the active
+        *compute dtype* (:func:`repro.nn.set_compute_dtype` — float64
+        by default), which every op output also adopts.
     requires_grad:
         If true, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -124,7 +134,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_dtypes._COMPUTE_DTYPE)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable | None = None
@@ -187,7 +197,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a seed needs a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -214,11 +224,17 @@ class Tensor:
         def stage(tensor: "Tensor", g: np.ndarray) -> None:
             if not tensor.requires_grad:
                 return
+            # Gradients live in each tensor's own dtype.  Closures that
+            # deliberately accumulate in float64 (bias-grad reductions,
+            # loss sums) get rounded once here, at the hand-off.
+            g = np.asarray(g)
+            if g.dtype != tensor.data.dtype:
+                g = g.astype(tensor.data.dtype)
             key = id(tensor)
             if key in pending:
                 pending[key] = pending[key] + g
             else:
-                pending[key] = np.asarray(g, dtype=np.float64)
+                pending[key] = g
 
         for node in reversed(topo):
             node_grad = pending.pop(id(node), None)
@@ -385,7 +401,11 @@ class Tensor:
                     g = np.expand_dims(g, a)
             stage(self, np.broadcast_to(g, self.shape).copy())
 
-        return _node(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+        # Accumulate in float64 regardless of the compute dtype (loss
+        # reductions must not drift term by term at float32); the node
+        # rounds the result back to the compute dtype exactly once.
+        return _node(self.data.sum(axis=axis, keepdims=keepdims,
+                                   dtype=np.float64), (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:

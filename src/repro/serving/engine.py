@@ -75,6 +75,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.dtypes import get_compute_dtype
+
 __all__ = ["EmissionPolicy", "GreedyEmission", "PackedDecodeResult",
            "DecodeSession"]
 
@@ -163,8 +165,9 @@ class DecodeSession:
                     f"lengths shape {lengths.shape} does not match {b} rows")
             if lengths.max(initial=0) > t:
                 raise ValueError("a length exceeds the program's num_steps")
-        log_probs = np.zeros((b, t, program.num_classes))
-        ratios = np.zeros((b, t))
+        dtype = get_compute_dtype()
+        log_probs = np.zeros((b, t, program.num_classes), dtype=dtype)
+        ratios = np.zeros((b, t), dtype=dtype)
         segments = np.zeros((b, t), dtype=np.int64)
 
         state0 = program.initial_state()

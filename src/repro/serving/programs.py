@@ -42,9 +42,12 @@ def _mask_step(log_mask, t: int, rows: np.ndarray):
 
 
 def _dense_log_softmax(masked: np.ndarray) -> np.ndarray:
-    """Raw mirror of the tape ``log_softmax`` (same expressions)."""
+    """Raw mirror of the tape ``log_softmax`` (same expressions,
+    including the float64 normaliser accumulation)."""
     shifted = masked - masked.max(axis=-1, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    shifted -= np.log(np.exp(shifted).sum(axis=-1, keepdims=True,
+                                          dtype=np.float64))
+    return shifted
 
 
 def _relu(x: np.ndarray) -> np.ndarray:

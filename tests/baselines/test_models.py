@@ -48,12 +48,14 @@ class TestContract:
         assert out.segments.shape == (b, t)
 
     def test_log_probs_normalised(self, name, tiny_config, tiny_world,
-                                  tiny_dataset, tiny_mask):
+                                  tiny_dataset, tiny_mask, float_tol):
         model = build(name, tiny_config, tiny_world.network)
         batch = tiny_dataset.full_batch()
         out = model(batch, tiny_mask.build(batch))
+        # Audited: ~1e-9 at float64; float32 probabilities carry a few
+        # ULP per exp/sum term, so normalisation holds to ~1e-5.
         np.testing.assert_allclose(np.exp(out.log_probs.data).sum(axis=-1), 1.0,
-                                   atol=1e-8)
+                                   atol=max(float_tol, 1e-8))
 
     def test_loss_backward_fills_gradients(self, name, tiny_config, tiny_world,
                                            tiny_dataset, tiny_mask):

@@ -24,6 +24,20 @@ def setup(tiny_config, tiny_world, tiny_dataset):
     return model, batch, log_mask
 
 
+@pytest.fixture(scope="module")
+def fusion_tols():
+    """Audited fused-vs-stepwise tolerances per compute dtype.
+
+    float64 keeps the historical 1e-10 contract.  float32 measured
+    (tiny world, untrained LTE): log-probs ≤ 4e-6, ratios/loss ≤ 3e-7,
+    grads ≤ 3e-8 — the audited bounds below carry ~25x margin.  Argmax
+    segments stay bit-equal at both precisions (margins dwarf rounding).
+    """
+    if nn.get_compute_dtype() == np.dtype(np.float64):
+        return {"values": 1e-10, "loss": 1e-10, "grads": 1e-8}
+    return {"values": 1e-4, "loss": 1e-5, "grads": 1e-6}
+
+
 def _teacher_forced(model, batch, log_mask, fused):
     with nn.use_fused_kernels(fused):
         model.zero_grad()
@@ -36,7 +50,7 @@ def _teacher_forced(model, batch, log_mask, fused):
 
 
 class TestTeacherForcedEquivalence:
-    def test_outputs_losses_and_gradients_match(self, setup):
+    def test_outputs_losses_and_gradients_match(self, setup, fusion_tols):
         model, batch, log_mask = setup
         fused_out, fused_loss, fused_grads = _teacher_forced(
             model, batch, log_mask, fused=True)
@@ -44,17 +58,21 @@ class TestTeacherForcedEquivalence:
             model, batch, log_mask, fused=False)
 
         np.testing.assert_allclose(fused_out.log_probs.data,
-                                   step_out.log_probs.data, atol=1e-10)
+                                   step_out.log_probs.data,
+                                   atol=fusion_tols["values"])
         np.testing.assert_allclose(fused_out.ratios.data,
-                                   step_out.ratios.data, atol=1e-10)
+                                   step_out.ratios.data,
+                                   atol=fusion_tols["values"])
         np.testing.assert_array_equal(fused_out.segments, step_out.segments)
-        assert abs(fused_loss - step_loss) < 1e-10
+        assert abs(fused_loss - step_loss) < fusion_tols["loss"]
         for name, grad in fused_grads.items():
-            np.testing.assert_allclose(grad, step_grads[name], atol=1e-8,
+            np.testing.assert_allclose(grad, step_grads[name],
+                                       atol=fusion_tols["grads"],
                                        err_msg=name)
 
     @pytest.mark.parametrize("encoder", ["gru", "lstm", "rnn"])
-    def test_all_encoder_variants(self, tiny_config, setup, encoder):
+    def test_all_encoder_variants(self, tiny_config, setup, encoder,
+                                  fusion_tols):
         import dataclasses
         _, batch, log_mask = setup
         config = dataclasses.replace(tiny_config, encoder=encoder)
@@ -62,12 +80,13 @@ class TestTeacherForcedEquivalence:
         fused_out, fused_loss, _ = _teacher_forced(model, batch, log_mask, True)
         step_out, step_loss, _ = _teacher_forced(model, batch, log_mask, False)
         np.testing.assert_allclose(fused_out.log_probs.data,
-                                   step_out.log_probs.data, atol=1e-10)
-        assert abs(fused_loss - step_loss) < 1e-10
+                                   step_out.log_probs.data,
+                                   atol=fusion_tols["values"])
+        assert abs(fused_loss - step_loss) < fusion_tols["loss"]
 
 
 class TestInferenceEquivalence:
-    def test_tape_free_decode_matches_stepwise(self, setup):
+    def test_tape_free_decode_matches_stepwise(self, setup, fusion_tols):
         model, batch, log_mask = setup
         results = {}
         for fused in (True, False):
@@ -75,9 +94,11 @@ class TestInferenceEquivalence:
                 output = model(batch, log_mask, teacher_forcing=False)
             results[fused] = output
         np.testing.assert_allclose(results[True].log_probs.data,
-                                   results[False].log_probs.data, atol=1e-10)
+                                   results[False].log_probs.data,
+                                   atol=fusion_tols["values"])
         np.testing.assert_allclose(results[True].ratios.data,
-                                   results[False].ratios.data, atol=1e-10)
+                                   results[False].ratios.data,
+                                   atol=fusion_tols["values"])
         np.testing.assert_array_equal(results[True].segments,
                                       results[False].segments)
 

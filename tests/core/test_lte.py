@@ -26,11 +26,13 @@ class TestForward:
         assert out.ratios.shape == (b, t)
         assert out.segments.shape == (b, t)
 
-    def test_log_probs_normalised(self, model, tiny_dataset, tiny_mask):
+    def test_log_probs_normalised(self, model, tiny_dataset, tiny_mask,
+                                  float_tol):
         batch = tiny_dataset.full_batch()
         out = model(batch, tiny_mask.build(batch))
         sums = np.exp(out.log_probs.data).sum(axis=-1)
-        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+        # Audited: 1e-9 at float64, ~1e-5 at float32 (per-term exp ULP).
+        np.testing.assert_allclose(sums, 1.0, atol=max(float_tol, 1e-9))
 
     def test_mask_shape_validation(self, model, tiny_dataset):
         batch = tiny_dataset.full_batch()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import nn
 from repro.core import LTEModel
 from repro.core.training import LocalTrainer, TrainingConfig
 from repro.metrics import evaluate_model, measure_epoch_seconds, profile_model
@@ -56,7 +57,10 @@ class TestProfiling:
         report = profile_model("LightTR", model, trainer, tiny_dataset, seq_len=17)
         assert report.parameters == model.num_parameters()
         assert report.flops > 0
-        assert report.payload_bytes == model.num_parameters() * 8
+        # Parameters live at the compute dtype, so the payload scales
+        # with its itemsize (8 at float64, 4 at float32).
+        itemsize = nn.get_compute_dtype().itemsize
+        assert report.payload_bytes == model.num_parameters() * itemsize
         assert "LightTR" in str(report)
 
     def test_invalid_repeats(self, tiny_config, tiny_dataset, tiny_mask):

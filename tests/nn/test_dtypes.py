@@ -62,15 +62,19 @@ class TestFlatThreading:
             assert out.dtype == np.float64
 
     def test_float32_roundtrip_restores_parameters_within_eps(self):
-        space = make_space()
-        original = space.get_flat(dtype=np.float64)
-        with nn.use_default_dtype("float32"):
-            wire = space.get_flat()
-            space.set_flat(wire)
-        # Parameters remain float64 storage; values rounded to float32.
-        assert space.parameters[0].data.dtype == np.float64
-        np.testing.assert_allclose(space.get_flat(dtype=np.float64), original,
-                                   rtol=1e-7)
+        # The contract under test is float64 *storage* with a float32
+        # wire, so pin the compute dtype rather than inherit a forced
+        # float32 substrate.
+        with nn.use_compute_dtype("float64"):
+            space = make_space()
+            original = space.get_flat(dtype=np.float64)
+            with nn.use_default_dtype("float32"):
+                wire = space.get_flat()
+                space.set_flat(wire)
+            # Parameters remain float64 storage; values rounded to float32.
+            assert space.parameters[0].data.dtype == np.float64
+            np.testing.assert_allclose(space.get_flat(dtype=np.float64),
+                                       original, rtol=1e-7)
 
     def test_flatten_state_honours_exchange_dtype(self):
         state = {"w": np.zeros((2, 3)), "b": np.ones(4)}
@@ -82,10 +86,14 @@ class TestFlatThreading:
         assert layout.unflatten(np.zeros(10, dtype=np.float32))["w"].dtype == np.float64
 
     def test_optimizer_math_stays_float64_under_float32_exchange(self):
-        params = [Parameter(np.ones(8), name="w")]
-        optimizer = nn.Adam(params, lr=1e-2)
-        params[0].grad = np.full(8, 0.5)
-        with nn.use_default_dtype("float32"):
-            optimizer.step()
-        assert params[0].data.dtype == np.float64
-        assert optimizer._m_flat.dtype == np.float64
+        # Float64-storage contract: pin the compute dtype (the float32
+        # substrate's master-weight contract is covered in
+        # tests/nn/test_compute_dtype.py).
+        with nn.use_compute_dtype("float64"):
+            params = [Parameter(np.ones(8), name="w")]
+            optimizer = nn.Adam(params, lr=1e-2)
+            params[0].grad = np.full(8, 0.5)
+            with nn.use_default_dtype("float32"):
+                optimizer.step()
+            assert params[0].data.dtype == np.float64
+            assert optimizer._m_flat.dtype == np.float64

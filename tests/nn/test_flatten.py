@@ -92,6 +92,12 @@ def reference_adam_step(params, ms, vs, t, lr=1e-3, b1=0.9, b2=0.999, eps=1e-8):
 
 
 class TestFlatAdamEquivalence:
+    # float64_only: the textbook loop keeps per-parameter moments at the
+    # parameter dtype, while the flat optimiser holds float64 master
+    # moments by contract — at float32 compute they intentionally
+    # diverge (that is the master-weight design; see
+    # tests/nn/test_compute_dtype.py::TestOptimizerMasterWeights).
+    @pytest.mark.float64_only
     def test_matches_reference_loop(self, fresh_rng):
         model_a = small_model(np.random.default_rng(3))
         model_b = small_model(np.random.default_rng(3))

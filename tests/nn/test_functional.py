@@ -47,10 +47,11 @@ class TestConcatStack:
 
 
 class TestSoftmaxFamily:
-    def test_softmax_matches_manual(self, fresh_rng):
+    def test_softmax_matches_manual(self, fresh_rng, float_tol):
         x = fresh_rng.standard_normal((3, 5))
         expected = np.exp(x) / np.exp(x).sum(axis=-1, keepdims=True)
-        np.testing.assert_allclose(nn.softmax(Tensor(x)).data, expected)
+        np.testing.assert_allclose(nn.softmax(Tensor(x)).data, expected,
+                                   atol=max(float_tol, 1e-12))
 
     def test_log_softmax_is_log_of_softmax(self, fresh_rng):
         x = Tensor(fresh_rng.standard_normal((4, 6)))
@@ -58,6 +59,7 @@ class TestSoftmaxFamily:
             nn.log_softmax(x).data, np.log(nn.softmax(x).data), atol=1e-12
         )
 
+    @pytest.mark.float64_only  # eps=1e-6 central differences round away
     def test_softmax_gradient_finite_diff(self, fresh_rng):
         x_val = fresh_rng.standard_normal(5)
         x = Tensor(x_val, requires_grad=True)

@@ -40,7 +40,8 @@ def _run_layer(layer, x_data, mask, h0_data, fused):
 @pytest.mark.parametrize("name,cls", LAYERS)
 @pytest.mark.parametrize("with_mask", [False, True])
 @pytest.mark.parametrize("with_h0", [False, True])
-def test_fused_matches_stepwise(name, cls, with_mask, with_h0, fresh_rng):
+def test_fused_matches_stepwise(name, cls, with_mask, with_h0, fresh_rng,
+                                float_tol):
     layer = cls(3, 5, np.random.default_rng(11))
     x_data = fresh_rng.standard_normal((4, 7, 3))
     mask = fresh_rng.random((4, 7)) > 0.3 if with_mask else None
@@ -53,18 +54,27 @@ def test_fused_matches_stepwise(name, cls, with_mask, with_h0, fresh_rng):
     fused = _run_layer(layer, x_data, mask, h0_data, fused=True)
     stepwise = _run_layer(layer, x_data, mask, h0_data, fused=False)
 
-    np.testing.assert_allclose(fused["outputs"], stepwise["outputs"], atol=1e-12)
-    np.testing.assert_allclose(fused["last"], stepwise["last"], atol=1e-12)
-    np.testing.assert_allclose(fused["x_grad"], stepwise["x_grad"], atol=1e-10)
+    # float64 keeps the historical 1e-12/1e-10 contract; at float32
+    # both paths run float32 kernels but round in different op orders
+    # (the fused scan accumulates bias grads in float64, the tape per
+    # step), so values agree to the audited float32 tolerance instead.
+    out_tol = max(float_tol, 1e-12)
+    grad_tol = max(float_tol, 1e-10)
+    np.testing.assert_allclose(fused["outputs"], stepwise["outputs"],
+                               atol=out_tol)
+    np.testing.assert_allclose(fused["last"], stepwise["last"], atol=out_tol)
+    np.testing.assert_allclose(fused["x_grad"], stepwise["x_grad"],
+                               atol=grad_tol)
     if with_h0:
         np.testing.assert_allclose(fused["h0_grad"], stepwise["h0_grad"],
-                                   atol=1e-10)
+                                   atol=grad_tol)
     for key, grad in fused["param_grads"].items():
         np.testing.assert_allclose(grad, stepwise["param_grads"][key],
-                                   atol=1e-10, err_msg=f"{name}.{key}")
+                                   atol=grad_tol, err_msg=f"{name}.{key}")
 
 
 @pytest.mark.parametrize("name,cls", LAYERS)
+@pytest.mark.float64_only  # eps=1e-6 central differences round away
 def test_fused_backward_matches_finite_differences(name, cls, fresh_rng):
     """Central finite differences over every parameter of a small scan."""
     layer = cls(2, 3, np.random.default_rng(5))

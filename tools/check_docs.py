@@ -9,6 +9,9 @@ Statically verifies every checkable claim in the documentation:
   ``--flags`` they pass must exist in that module's CLI source;
 * ``pytest`` invocations must reference existing test paths and only
   markers declared in ``pytest.ini``;
+* ``REPRO_*`` environment knobs (e.g. ``REPRO_SCALE``,
+  ``REPRO_COMPUTE_DTYPE``) mentioned anywhere in the docs must be read
+  somewhere in the Python source tree;
 * relative paths mentioned in inline code or links must exist;
 * dotted ``repro.*`` references in inline code must import (and, for
   ``repro.mod.attr`` forms, resolve the attribute).
@@ -38,6 +41,10 @@ _FENCE = re.compile(r"^```(\w*)\s*$")
 _INLINE_CODE = re.compile(r"`([^`\n]+)`")
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
 _DOTTED = re.compile(r"^repro(\.\w+)+$")
+_ENV_KNOB = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
+
+#: Directories scanned for reads of documented ``REPRO_*`` env knobs.
+_SOURCE_DIRS = ("src", "tests", "benchmarks", "tools")
 
 
 def _fenced_blocks(text: str) -> list[tuple[str, str]]:
@@ -86,6 +93,37 @@ def _declared_markers() -> set[str]:
     except OSError:
         pass
     return markers
+
+
+_ENV_KNOBS_IN_SOURCE: set[str] | None = None
+
+
+def _env_knobs_in_source() -> set[str]:
+    """Every ``REPRO_*`` name appearing in the Python source tree."""
+    global _ENV_KNOBS_IN_SOURCE
+    if _ENV_KNOBS_IN_SOURCE is None:
+        knobs: set[str] = set()
+        for source_dir in _SOURCE_DIRS:
+            root = os.path.join(REPO_ROOT, source_dir)
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for filename in filenames:
+                    if not filename.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    with open(path, encoding="utf-8") as handle:
+                        knobs.update(_ENV_KNOB.findall(handle.read()))
+        _ENV_KNOBS_IN_SOURCE = knobs
+    return _ENV_KNOBS_IN_SOURCE
+
+
+def _check_env_knobs(doc: str, text: str, errors: list[str]) -> None:
+    """Documented ``REPRO_*`` env knobs must be read by the source."""
+    known = _env_knobs_in_source()
+    for knob in sorted(set(_ENV_KNOB.findall(text))):
+        if knob not in known:
+            errors.append(
+                f"{doc}: env knob {knob!r} is not read anywhere in "
+                f"{'/'.join(_SOURCE_DIRS)}")
 
 
 def _cli_flags_exist(module: str, flags: list[str]) -> list[str]:
@@ -202,6 +240,10 @@ def check_docs(doc_files=DOC_FILES) -> list[str]:
         # Strip fences so inline checks do not re-scan block bodies.
         stripped = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
         _check_inline(doc, stripped, errors)
+        # Env knobs are checked in the full text: they appear both
+        # inline (`REPRO_COMPUTE_DTYPE=float32` CI leg) and in bash
+        # blocks (`REPRO_SCALE=small pytest ...`).
+        _check_env_knobs(doc, text, errors)
     return errors
 
 
