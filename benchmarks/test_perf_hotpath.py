@@ -19,8 +19,14 @@ Times the four layers the fused/vectorized refactors target —
   federated-round workloads at float32 vs float64 kernels
   (``nn.use_compute_dtype``), with the measured segment-accuracy and
   log-probability drift recorded next to the speedups,
+* the array-backend seam: the ``call_kernel`` dispatch overhead (gated
+  < 2%) and the workspace backend's buffer-reusing kernels vs the
+  reference on the epoch and packed-decode hot paths (``numba`` legs
+  recorded only when that backend registered),
 
-and writes the measurements to ``BENCH_hotpath.json`` at the repo root
+and writes the measurements (plus a ``meta`` provenance block: backend,
+numpy/BLAS, cpu count, compute dtype) to ``BENCH_hotpath.json`` at the
+repo root
 so future PRs can track the speed trajectory.  The parallel speedup
 assertion only fires on machines with >= 4 usable cores (the pool
 cannot beat serial on a single-core container); ``cpus`` is recorded
@@ -460,6 +466,122 @@ def _time_compute_dtype() -> dict:
     }
 
 
+def _time_backend() -> dict:
+    """Array-backend seam: dispatch overhead + workspace vs reference.
+
+    Three measurements:
+
+    * **dispatch overhead** — one fused GRU scan forward called directly
+      vs through :func:`repro.nn.call_kernel` under the reference
+      backend (which has no registered impl, so the seam's only cost is
+      the lookup + fallback).  Gated < 2%: the seam must be free.
+    * **epoch** — the fused local training epoch per backend; the
+      workspace backend reuses pooled ``out=`` scratch across scan
+      steps instead of re-allocating per step.
+    * **decode** — the packed ragged-workload decode per backend; the
+      workspace backend adds the precomputed sparse mask step-plan and
+      the buffered ST decode step.
+
+    The workspace results are asserted bitwise identical to reference
+    (same ops, same order — only the allocations change); ``numba``
+    legs are recorded only when that backend registered.
+    """
+    from repro.nn.backend import call_kernel
+    from repro.nn.recurrent import _gru_forward_ref
+
+    rng = np.random.default_rng(0)
+    b, steps, hidden = 64, 33, HIDDEN
+    scan_args = (rng.standard_normal((b, steps, 2 * hidden)),
+                 rng.standard_normal((b, steps, hidden)),
+                 np.zeros((b, hidden)),
+                 rng.standard_normal((hidden, 2 * hidden)) * 0.1,
+                 rng.standard_normal((hidden, hidden)) * 0.1, None)
+    with nn.use_backend("reference"):
+        _gru_forward_ref(*scan_args)  # warm
+        direct = _best_of(lambda: _gru_forward_ref(*scan_args))
+        dispatched = _best_of(lambda: call_kernel(
+            "gru_scan_forward", _gru_forward_ref, *scan_args))
+    dispatch_overhead = dispatched / direct - 1.0
+
+    world, dataset = _world()
+    config = _model_config(world, dataset)
+    trimmed = [
+        MatchedTrajectory(t.traj_id, t.driver_id, t.epsilon,
+                          t.points[:DECODE_LENGTHS[i % len(DECODE_LENGTHS)]])
+        for i, t in enumerate(world.matched)
+    ]
+    ragged = TrajectoryDataset.from_matched(trimmed, world.grid,
+                                            world.network, keep_ratio=0.25)
+
+    backends = [name for name in ("reference", "workspace", "numba")
+                if name in nn.available_backends()]
+    legs: dict[str, dict] = {}
+    flats: dict[str, np.ndarray] = {}
+    decodes: dict[str, object] = {}
+    for name in backends:
+        with nn.use_backend(name):
+            model = LTEModel(config, np.random.default_rng(3))
+            mask_builder = ConstraintMaskBuilder(world.network, radius=500.0)
+            optimizer = nn.Adam(model.parameters(), lr=1e-3)
+            rng_e = np.random.default_rng(4)
+            epoch = lambda: _run_epoch(model, dataset, mask_builder,
+                                       optimizer, nn.clip_grad_norm, rng_e)
+            epoch()  # warm caches (collation, mask pools, scratch)
+            epoch_seconds = _best_of(epoch, repeats=5)
+            flats[name] = np.concatenate(
+                [p.data.ravel() for p in model.parameters()])
+
+            decode_model_ = LTEModel(config, np.random.default_rng(11))
+            decode_model_.eval()
+            batch = ragged.full_batch()
+            log_mask = mask_builder.build_for(batch, decode_model_)
+
+            def run_decode():
+                with nn.no_grad():
+                    return decode_model(decode_model_, batch, log_mask)
+
+            decodes[name] = run_decode()
+            legs[name] = {"epoch": epoch_seconds,
+                          "decode": _best_of(run_decode)}
+
+    # The workspace backend re-runs the same float ops in the same
+    # order: everything must match reference bit for bit.
+    np.testing.assert_array_equal(flats["workspace"], flats["reference"])
+    np.testing.assert_array_equal(decodes["workspace"].segments,
+                                  decodes["reference"].segments)
+    np.testing.assert_array_equal(decodes["workspace"].log_probs.data,
+                                  decodes["reference"].log_probs.data)
+
+    return {
+        "dispatch_direct": direct,
+        "dispatch_via_seam": dispatched,
+        "dispatch_overhead": dispatch_overhead,
+        "backends": legs,
+        "epoch_speedup": (legs["reference"]["epoch"]
+                          / legs["workspace"]["epoch"]),
+        "decode_speedup": (legs["reference"]["decode"]
+                           / legs["workspace"]["decode"]),
+    }
+
+
+def _meta() -> dict:
+    """Provenance block: what machine/configuration produced the JSON."""
+    blas = None
+    try:
+        build = np.show_config(mode="dicts").get("Build Dependencies", {})
+        blas = build.get("blas", {}).get("name")
+    except Exception:
+        pass  # older numpy without dict mode: leave null
+    return {
+        "backend": nn.get_backend(),
+        "available_backends": list(nn.available_backends()),
+        "numpy": np.__version__,
+        "blas": blas,
+        "cpus": _usable_cpus(),
+        "compute_dtype": nn.get_compute_dtype().name,
+    }
+
+
 PARALLEL_WORKERS = 4
 PARALLEL_CLIENTS = 8
 PARALLEL_ROUNDS = 3
@@ -527,14 +649,17 @@ def test_perf_hotpath():
     decode = _time_decode()
     fed_round = _time_federated_round()
     compute_dtype = _time_compute_dtype()
+    backend = _time_backend()
 
     report = {
+        "meta": _meta(),
         "encoder_forward_backward_seconds": encoder,
         "local_epoch_seconds": epoch,
         "sparse_mask_seconds": sparse_mask,
         "decode_seconds": decode,
         "federated_round_seconds": fed_round,
         "compute_dtype_seconds": compute_dtype,
+        "backend_seconds": backend,
     }
     with open(BENCH_PATH, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -566,3 +691,10 @@ def test_perf_hotpath():
     assert compute_dtype["epoch_speedup"] >= 1.3, compute_dtype
     assert compute_dtype["drift"]["segment_accuracy_drift"] <= 0.02, \
         compute_dtype
+    # The backend seam must be free at the dispatch layer (< 2% on a
+    # single hot-kernel call) and the workspace backend must win on at
+    # least one of the two hot paths it targets (allocation-bound epoch
+    # scans or the plan-driven packed decode).
+    assert backend["dispatch_overhead"] < 0.02, backend
+    assert max(backend["epoch_speedup"], backend["decode_speedup"]) >= 1.1, \
+        backend

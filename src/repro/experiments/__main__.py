@@ -113,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
                              "with float64 accumulations and optimizer "
                              "master state; default: the scale's setting, "
                              "float64 = bitwise reference)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="array backend for kernel math (reference: "
+                             "plain NumPy, the default; workspace: "
+                             "buffer-reusing hot kernels, bitwise-identical "
+                             "results; numba when that package is "
+                             "installed; see REPRO_BACKEND)")
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -122,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, decode_batch=args.decode_batch)
     if args.compute_dtype is not None:
         scale = dataclasses.replace(scale, compute_dtype=args.compute_dtype)
+    if args.backend is not None:
+        scale = dataclasses.replace(scale, backend=args.backend)
     context = ExperimentContext(scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

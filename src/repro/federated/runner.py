@@ -32,10 +32,11 @@ round histories and final global parameters:
 * tasks also re-assert the process-global switches inside the worker —
   the kernel-fusion flag, the sparse-constraint-mask flag, the
   packed-decode flag (the accuracy gates of Algorithm 2 run inference
-  through :mod:`repro.serving`), the exchange dtype, and the compute
+  through :mod:`repro.serving`), the exchange dtype, the compute
   dtype (worker-side models are cast in place if the parent flipped it
-  after pool start-up) — so both sides run the same kernels over the
-  same mask representation at the same precision;
+  after pool start-up), and the array-backend selection
+  (:func:`repro.nn.set_backend`) — so both sides run the same kernels
+  over the same mask representation at the same precision;
 * the trainer submits tasks in ascending client-id order and the
   runners return results in task order, so aggregation order never
   depends on completion order.
@@ -45,7 +46,7 @@ RoundTask shipping contract
 A :class:`RoundTask` must stay cheap to pickle and self-sufficient: the
 flat ``(P,)`` global vector, the client id, the local epoch count, the
 frozen teacher's flat state (or ``None``), the client's session
-snapshot (or ``None`` for in-process execution), and the five global
+snapshot (or ``None`` for in-process execution), and the six global
 switches above.  Heavy, rebuildable objects never ride on tasks — the
 datasets, road network, and constraint-mask builder travel once in the
 :class:`WorkerSetup` (the builder pickles *cache-free*: its sparse row
@@ -129,6 +130,7 @@ class RoundTask:
     packed_decode: bool = True
     exchange_dtype: str = "float64"
     compute_dtype: str = "float64"
+    backend: str = "reference"
 
 
 @dataclass(frozen=True)
@@ -278,6 +280,7 @@ class _WorkerState:
             nn.set_packed_decode(task.packed_decode),
             nn.set_default_dtype(task.exchange_dtype),
             nn.set_compute_dtype(task.compute_dtype),
+            nn.set_backend(task.backend),
         )
         try:
             self._ensure_model_dtype()
@@ -298,6 +301,7 @@ class _WorkerState:
             nn.set_packed_decode(previous[2])
             nn.set_default_dtype(previous[3])
             nn.set_compute_dtype(previous[4])
+            nn.set_backend(previous[5])
 
 
 class ProcessPoolRunner(RoundRunner):

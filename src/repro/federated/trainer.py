@@ -293,6 +293,7 @@ class FederatedTrainer:
                 packed_decode=nn.packed_decode_enabled(),
                 exchange_dtype=nn.get_default_dtype().name,
                 compute_dtype=nn.get_compute_dtype().name,
+                backend=nn.get_backend(),
             )
             for client_id in selected  # ascending: fixes aggregation order
         ]

@@ -17,9 +17,26 @@ original per-step tape path is retained behind
 :func:`~repro.nn.fusion.use_fused_kernels` purely as a reference for
 equivalence tests; both paths produce matching outputs and gradients
 (verified to atol 1e-10 and by finite differences).
+
+All kernel array math dispatches through the pluggable backend seam
+(:mod:`repro.nn.backend`): :func:`use_backend` / ``REPRO_BACKEND``
+select among the ``reference`` NumPy backend (the default), the
+``workspace`` backend (buffer-reusing hot-kernel variants, bitwise
+identical), and ``numba`` when that package is importable.
 """
 
 from .attention import AdditiveAttention, SelfAttention, scaled_dot_product_attention
+from .backend import (
+    ArrayBackend,
+    available_backends,
+    backend_generation,
+    call_kernel,
+    get_backend,
+    register_backend,
+    register_kernel,
+    set_backend,
+    use_backend,
+)
 from .dtypes import (
     get_compute_dtype,
     get_default_dtype,
@@ -102,6 +119,10 @@ __all__ = [
     # precision switches (compute + exchange)
     "get_compute_dtype", "set_compute_dtype", "use_compute_dtype",
     "get_default_dtype", "set_default_dtype", "use_default_dtype",
+    # array backend seam (see repro.nn.backend)
+    "ArrayBackend", "available_backends", "backend_generation",
+    "get_backend", "set_backend", "use_backend",
+    "register_backend", "register_kernel", "call_kernel",
     # attention
     "AdditiveAttention", "SelfAttention", "scaled_dot_product_attention",
     # losses

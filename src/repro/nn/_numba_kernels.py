@@ -1,0 +1,132 @@
+"""Numba-jitted hot kernels for the ``numba`` array backend.
+
+Imported (and the backend registered) only when :mod:`numba` itself
+imports — see :func:`repro.nn.backend._init_numba_backend`; numba is
+never a hard dependency of the substrate.  The jitted loops compile
+lazily on first call; if compilation fails the raising kernel is
+disabled and :func:`repro.nn.backend.call_kernel` transparently re-runs
+the NumPy reference for the rest of the process.
+
+Unlike the ``workspace`` backend these kernels are **not** bitwise
+identical to the reference: the jitted recurrences compute activations
+with numba's own ``exp``/``tanh`` and may fuse elementwise chains
+differently, so results track the reference to tolerance (audited in
+``tests/nn/test_backend.py::TestNumbaGating``), not bit for bit.  Only
+the sequential scan loops — the part NumPy cannot vectorize — are
+jitted; whole-sequence projections stay on BLAS in the callers.
+
+This module only depends on numpy + numba: registration is inverted
+(:func:`register` receives the backend object) so no import back into
+:mod:`repro.nn.backend` is needed while that module is still
+initialising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+
+@njit(cache=True)
+def _rnn_forward_jit(xw, h0, w_h, keep, use_keep):
+    batch, steps, hidden = xw.shape
+    raw = np.empty((batch, steps, hidden), xw.dtype)
+    hs = np.empty((batch, steps, hidden), xw.dtype)
+    h = h0.copy()
+    for t in range(steps):
+        ht = np.tanh(h @ w_h + xw[:, t])
+        raw[:, t] = ht
+        if use_keep:
+            kt = keep[:, t]
+            h = ht * kt + h * (1.0 - kt)
+        else:
+            h = ht
+        hs[:, t] = h
+    return raw, hs
+
+
+@njit(cache=True)
+def _rnn_backward_jit(grad, raw, keep, use_keep, w_h_t):
+    batch, steps, hidden = raw.shape
+    dpre = np.empty((batch, steps, hidden), raw.dtype)
+    dh = np.zeros((batch, hidden), raw.dtype)
+    for t in range(steps - 1, -1, -1):
+        dcarry = grad[:, t] + dh
+        if use_keep:
+            kt = keep[:, t]
+            dp = dcarry * kt * (1.0 - raw[:, t] * raw[:, t])
+            dpre[:, t] = dp
+            dh = dp @ w_h_t + dcarry * (1.0 - kt)
+        else:
+            dp = dcarry * (1.0 - raw[:, t] * raw[:, t])
+            dpre[:, t] = dp
+            dh = dp @ w_h_t
+    return dpre, dh
+
+
+@njit(cache=True)
+def _gru_forward_jit(xg, xh, h0, w_gh, w_hh, keep, use_keep):
+    batch, steps, hidden = xh.shape
+    gates = np.empty((batch, steps, 2 * hidden), xh.dtype)
+    cand_seq = np.empty((batch, steps, hidden), xh.dtype)
+    hs = np.empty((batch, steps, hidden), xh.dtype)
+    h = h0.copy()
+    for t in range(steps):
+        rz = 1.0 / (1.0 + np.exp(-(h @ w_gh + xg[:, t])))
+        gates[:, t] = rz
+        r = rz[:, :hidden]
+        z = rz[:, hidden:]
+        cand = np.tanh((r * h) @ w_hh + xh[:, t])
+        cand_seq[:, t] = cand
+        h_new = (1.0 - z) * h + z * cand
+        if use_keep:
+            kt = keep[:, t]
+            h = h_new * kt + h * (1.0 - kt)
+        else:
+            h = h_new
+        hs[:, t] = h
+    return gates, cand_seq, hs
+
+
+def _dummy_keep(dtype) -> np.ndarray:
+    # The jitted branches need a type-stable array argument even when
+    # the caller has no mask; the unused branch never indexes it.
+    return np.empty((1, 1, 1), dtype)
+
+
+def _rnn_forward(xw, h0, w_h_data, keep):
+    use_keep = keep is not None
+    kp = np.ascontiguousarray(keep) if use_keep else _dummy_keep(xw.dtype)
+    raw, hs = _rnn_forward_jit(np.ascontiguousarray(xw),
+                               np.ascontiguousarray(h0),
+                               np.ascontiguousarray(w_h_data), kp, use_keep)
+    return (raw, raw) if keep is None else (raw, hs)
+
+
+def _rnn_backward(grad, raw, keep, w_h_t):
+    use_keep = keep is not None
+    kp = np.ascontiguousarray(keep) if use_keep else _dummy_keep(raw.dtype)
+    return _rnn_backward_jit(np.ascontiguousarray(grad), raw, kp, use_keep,
+                             np.ascontiguousarray(w_h_t))
+
+
+def _gru_forward(xg, xh, h0, w_gh, w_hh, keep):
+    use_keep = keep is not None
+    kp = np.ascontiguousarray(keep) if use_keep else _dummy_keep(xh.dtype)
+    return _gru_forward_jit(np.ascontiguousarray(xg),
+                            np.ascontiguousarray(xh),
+                            np.ascontiguousarray(h0),
+                            np.ascontiguousarray(w_gh),
+                            np.ascontiguousarray(w_hh), kp, use_keep)
+
+
+def register(backend) -> None:
+    """Install the jitted kernels on ``backend`` (the ``numba`` entry).
+
+    The GRU backward, LSTM scans, log-softmax cores, and decode step
+    stay unregistered: they fall back to the reference per kernel — the
+    seam's contract makes a partial kernel set safe.
+    """
+    backend.kernels["rnn_scan_forward"] = _rnn_forward
+    backend.kernels["rnn_scan_backward"] = _rnn_backward
+    backend.kernels["gru_scan_forward"] = _gru_forward

@@ -8,20 +8,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import ops
+
 __all__ = ["xavier_uniform", "kaiming_uniform", "uniform", "zeros_init", "orthogonal"]
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
-    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    bound = gain * ops.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-bound, bound, size=shape)
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He/Kaiming uniform for ReLU fan-in scaling."""
     fan_in, _ = _fans(shape)
-    bound = np.sqrt(6.0 / fan_in)
+    bound = ops.sqrt(6.0 / fan_in)
     return rng.uniform(-bound, bound, size=shape)
 
 
@@ -42,8 +44,8 @@ def orthogonal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1
     rows, cols = shape
     size = max(rows, cols)
     a = rng.standard_normal((size, size))
-    q, r = np.linalg.qr(a)
-    q = q * np.sign(np.diag(r))
+    q, r = ops.qr(a)
+    q = q * ops.sign(ops.diag(r))
     return gain * q[:rows, :cols]
 
 

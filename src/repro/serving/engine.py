@@ -75,6 +75,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.backend import ops
 from ..nn.dtypes import get_compute_dtype
 
 __all__ = ["EmissionPolicy", "GreedyEmission", "PackedDecodeResult",
@@ -102,7 +103,7 @@ class GreedyEmission(EmissionPolicy):
     """Argmax emission — the paper's decode rule (Eq. 11)."""
 
     def select(self, log_probs: np.ndarray) -> np.ndarray:
-        return np.argmax(log_probs, axis=-1).astype(np.int64)
+        return ops.argmax(log_probs, axis=-1).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -206,16 +207,16 @@ class DecodeSession:
         work = 0
         for t in range(horizon):
             alive = live & (lengths[rows] > t)
-            if not np.array_equal(alive, live):  # a row just finished
-                keep = np.flatnonzero(alive)
+            if not ops.array_equal(alive, live):  # a row just finished
+                keep = ops.flatnonzero(alive)
                 if keep.size == 0:
                     break
                 if keep.size == 1 and rows.size >= 2:
                     # BLAS guard: a 1-row working set would hit GEMV
                     # kernels whose bit-patterns differ from GEMM; carry
                     # one finished row as ballast instead.
-                    keep = np.concatenate(
-                        [keep, np.flatnonzero(~alive)[:1]])
+                    keep = ops.concatenate(
+                        [keep, ops.flatnonzero(~alive)[:1]])
                 rows = rows[keep]
                 live = alive[keep]
                 state = program.select_rows(state, keep)
@@ -235,8 +236,8 @@ class DecodeSession:
             # Autoregressive feedback: observed points are inputs, not
             # predictions — clamp them to their known values.
             observed = batch.observed_flags[rows, t]
-            prev_segments = np.where(observed, batch.tgt_segments[rows, t],
-                                     step_segments)
-            prev_ratios = np.where(observed, batch.tgt_ratios[rows, t],
-                                   np.clip(step_ratios, 0.0, 1.0))
+            prev_segments = ops.where(observed, batch.tgt_segments[rows, t],
+                                      step_segments)
+            prev_ratios = ops.where(observed, batch.tgt_ratios[rows, t],
+                                    ops.clip(step_ratios, 0.0, 1.0))
         return work

@@ -29,24 +29,37 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.backend import call_kernel, ops
 from ..nn.functional import row_dot
 
 __all__ = ["STDecodeProgram", "StackedRNNDecodeProgram", "AttnDecodeProgram"]
 
 
+def _sparse_mask_step_ref(log_mask, t: int, rows: np.ndarray):
+    return log_mask.step(t, rows)
+
+
 def _mask_step(log_mask, t: int, rows: np.ndarray):
-    """Slice decode step ``t`` of the mask over the compacted ``rows``."""
+    """Slice decode step ``t`` of the mask over the compacted ``rows``.
+
+    Real CSR batch masks dispatch through the ``"sparse_mask_step"``
+    hot kernel, so the workspace backend can substitute its
+    per-working-set step plan (see :mod:`repro.core.mask`).
+    """
     if isinstance(log_mask, np.ndarray):
         return log_mask[rows, t, :]
-    return log_mask.step(t, rows)
+    if log_mask.identity or len(log_mask.shape) != 3:
+        return log_mask.step(t, rows)
+    return call_kernel("sparse_mask_step", _sparse_mask_step_ref,
+                       log_mask, t, rows)
 
 
 def _dense_log_softmax(masked: np.ndarray) -> np.ndarray:
     """Raw mirror of the tape ``log_softmax`` (same expressions,
     including the float64 normaliser accumulation)."""
     shifted = masked - masked.max(axis=-1, keepdims=True)
-    shifted -= np.log(np.exp(shifted).sum(axis=-1, keepdims=True,
-                                          dtype=np.float64))
+    shifted -= ops.log(ops.exp(shifted).sum(axis=-1, keepdims=True,
+                                           dtype=np.float64))
     return shifted
 
 
@@ -127,7 +140,7 @@ class StackedRNNDecodeProgram:
     def advance(self, state: _State, rows: np.ndarray, t: int,
                 prev_segments: np.ndarray, prev_ratios: np.ndarray
                 ) -> tuple[_State, np.ndarray]:
-        z = np.concatenate(
+        z = ops.concatenate(
             [self._seg_table[prev_segments], prev_ratios[:, None],
              self._extras[rows, t]], axis=-1,
         )
@@ -187,7 +200,7 @@ class AttnDecodeProgram:
                 ) -> tuple[_State, np.ndarray]:
         h, keys, keys_proj, obs_mask = state.arrays
         context = self._attention.step_array(h, keys, keys_proj, obs_mask)
-        z = np.concatenate(
+        z = ops.concatenate(
             [self._seg_table[prev_segments], prev_ratios[:, None],
              self._extras[rows, t], context], axis=-1,
         )
@@ -202,7 +215,7 @@ class AttnDecodeProgram:
         h_e = _relu(state.cache + (seg_emb @ self._emb_proj.weight.data
                                    + self._emb_proj.bias.data))
         return _relu(
-            row_dot(np.concatenate([h_e, seg_emb], axis=-1),
+            row_dot(ops.concatenate([h_e, seg_emb], axis=-1),
                     self._ratio_head.weight.data)
             + self._ratio_head.bias.data
         )
