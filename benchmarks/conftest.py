@@ -9,6 +9,7 @@ keeps the artefacts.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -16,6 +17,7 @@ import pytest
 from repro.experiments import SCALES, ExperimentContext
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
 
 
 def scale_name() -> str:
@@ -39,3 +41,23 @@ def publish(name: str, text: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{name}.{scale_name()}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+
+
+def update_bench(sections: dict) -> None:
+    """Merge top-level sections into ``BENCH_hotpath.json``.
+
+    Benchmarks own disjoint sections of the JSON (the hot-path timings,
+    the fault-tolerance sweep, ...), so each writer merges over what is
+    already on disk instead of clobbering the other benchmarks' data.
+    """
+    report: dict = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as handle:
+            try:
+                report = json.load(handle)
+            except ValueError:
+                report = {}  # corrupt file: rewrite from scratch
+    report.update(sections)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

@@ -62,6 +62,8 @@ from repro.nn.tensor import Tensor
 from repro.serving import decode_model
 from repro.spatial import grid_city
 
+from conftest import update_bench
+
 pytestmark = pytest.mark.slow
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
@@ -661,9 +663,9 @@ def test_perf_hotpath():
         "compute_dtype_seconds": compute_dtype,
         "backend_seconds": backend,
     }
-    with open(BENCH_PATH, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    # Merge instead of overwriting: sections owned by other benchmarks
+    # (e.g. fault_tolerance) must survive a hot-path rerun.
+    update_bench(report)
     print()
     print(json.dumps(report, indent=2))
 

@@ -11,16 +11,25 @@ from .harness import (
     run_client_count_sweep,
     run_convergence,
     run_design_ablations,
+    run_fault_tolerance_sweep,
     run_fraction_sweep,
     run_overall_comparison,
     run_sensitivity,
 )
-from .reporting import ascii_scatter, format_comparison_table, format_curves, format_table
+from .reporting import (
+    ascii_scatter,
+    format_comparison_table,
+    format_curves,
+    format_fault_rows,
+    format_table,
+)
 
 __all__ = [
     "ExperimentScale", "SCALES", "ExperimentContext", "MethodRun",
     "run_overall_comparison", "run_client_count_sweep", "run_fraction_sweep",
     "run_centralized_comparison", "run_ablation", "run_sensitivity",
     "run_design_ablations", "run_case_study", "run_convergence",
+    "run_fault_tolerance_sweep",
     "format_table", "format_comparison_table", "ascii_scatter", "format_curves",
+    "format_fault_rows",
 ]

@@ -23,14 +23,21 @@ from .harness import (
     run_centralized_comparison,
     run_client_count_sweep,
     run_convergence,
+    run_fault_tolerance_sweep,
     run_fraction_sweep,
     run_overall_comparison,
     run_sensitivity,
 )
-from .reporting import ascii_scatter, format_comparison_table, format_curves, format_table
+from .reporting import (
+    ascii_scatter,
+    format_comparison_table,
+    format_curves,
+    format_fault_rows,
+    format_table,
+)
 
 EXPERIMENTS = ("table4", "table5", "table6", "fig5", "fig6", "fig7", "fig8",
-               "fig9", "fig10")
+               "fig9", "fig10", "faults")
 
 
 def _dispatch(name: str, context: ExperimentContext, datasets: tuple[str, ...]) -> str:
@@ -86,6 +93,10 @@ def _dispatch(name: str, context: ExperimentContext, datasets: tuple[str, ...]) 
     if name == "fig10":
         return format_curves(run_convergence(context, dataset_name=datasets[0]),
                              title="Convergence (per-round global accuracy)")
+    if name == "faults":
+        return format_fault_rows(
+            run_fault_tolerance_sweep(context, dataset_name=datasets[0]),
+            title="Fault tolerance: accuracy vs injected dropout rate")
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -119,6 +130,33 @@ def main(argv: list[str] | None = None) -> int:
                              "buffer-reusing hot kernels, bitwise-identical "
                              "results; numba when that package is "
                              "installed; see REPRO_BACKEND)")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="inject deterministic client faults, e.g. "
+                             "'dropout=0.3,crash=0.1,seed=42' (see "
+                             "docs/ROBUSTNESS.md and REPRO_FAULT_PLAN)")
+    parser.add_argument("--task-retries", type=int, default=None, metavar="N",
+                        help="re-attempts per failed client task before the "
+                             "client is dropped for the round (default: the "
+                             "scale's setting)")
+    parser.add_argument("--task-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock deadline; an overrun counts "
+                             "as a client failure (default: none)")
+    parser.add_argument("--min-clients", type=int, default=None, metavar="N",
+                        help="aggregation quorum: hold the global model and "
+                             "skip the round when fewer than N uploads "
+                             "survive (default: 1)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="K",
+                        help="persist a resumable checkpoint every K rounds "
+                             "(requires --checkpoint-dir; default: never)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for round checkpoints")
+    parser.add_argument("--resume-from", default=None, metavar="PATH",
+                        help="resume federated runs from a checkpoint file "
+                             "or the latest checkpoint in a directory; the "
+                             "resumed run is bit-identical to an "
+                             "uninterrupted one")
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -130,6 +168,20 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, compute_dtype=args.compute_dtype)
     if args.backend is not None:
         scale = dataclasses.replace(scale, backend=args.backend)
+    if args.fault_plan is not None:
+        scale = dataclasses.replace(scale, fault_plan=args.fault_plan)
+    if args.task_retries is not None:
+        scale = dataclasses.replace(scale, task_retries=args.task_retries)
+    if args.task_deadline is not None:
+        scale = dataclasses.replace(scale, task_deadline=args.task_deadline)
+    if args.min_clients is not None:
+        scale = dataclasses.replace(scale, min_clients_per_round=args.min_clients)
+    if args.checkpoint_every is not None:
+        scale = dataclasses.replace(scale, checkpoint_every=args.checkpoint_every)
+    if args.checkpoint_dir is not None:
+        scale = dataclasses.replace(scale, checkpoint_dir=args.checkpoint_dir)
+    if args.resume_from is not None:
+        scale = dataclasses.replace(scale, resume_from=args.resume_from)
     context = ExperimentContext(scale)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

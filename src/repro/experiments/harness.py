@@ -10,6 +10,8 @@ numbers - see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+import re
 import time
 from dataclasses import dataclass, field
 
@@ -38,6 +40,7 @@ __all__ = [
     "run_overall_comparison", "run_client_count_sweep", "run_fraction_sweep",
     "run_centralized_comparison", "run_ablation", "run_sensitivity",
     "run_design_ablations", "run_case_study", "run_convergence",
+    "run_fault_tolerance_sweep",
 ]
 
 
@@ -63,6 +66,14 @@ class ExperimentScale:
     decode_batch: int = 0  # > 0: bound the packed-decode working set
     compute_dtype: str = "float64"  # "float32": mixed-precision substrate
     backend: str = "reference"  # array backend (see repro.nn.backend)
+    # --- robustness knobs (docs/ROBUSTNESS.md) ---
+    min_clients_per_round: int = 1  # aggregation quorum
+    task_retries: int = 1  # re-attempts per failed client task
+    task_deadline: float = 0.0  # per-task wall-clock seconds (0 = none)
+    fault_plan: str = ""  # e.g. "dropout=0.3,crash=0.1,seed=42" ("" = none)
+    checkpoint_every: int = 0  # persist run state every K rounds (0 = never)
+    checkpoint_dir: str = ""
+    resume_from: str = ""  # checkpoint file or directory ("" = fresh run)
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -176,18 +187,54 @@ class ExperimentContext:
                          lambda0: float = 5.0, lt: float = 0.4,
                          rounds: int | None = None,
                          dynamic_lambda: bool = True,
-                         workers: int | None = None) -> FederatedConfig:
+                         workers: int | None = None,
+                         run_tag: str | None = None) -> FederatedConfig:
+        scale = self.scale
         return FederatedConfig(
-            rounds=rounds if rounds is not None else self.scale.rounds,
+            rounds=rounds if rounds is not None else scale.rounds,
             client_fraction=client_fraction,
-            local_epochs=self.scale.local_epochs,
+            local_epochs=scale.local_epochs,
             training=self.training_config(),
             use_meta=use_meta,
             lambda0=lambda0,
             lt=lt,
             dynamic_lambda=dynamic_lambda,
-            workers=self.scale.workers if workers is None else workers,
+            workers=scale.workers if workers is None else workers,
+            min_clients_per_round=scale.min_clients_per_round,
+            task_retries=scale.task_retries,
+            task_deadline=scale.task_deadline or None,
+            fault_plan=scale.fault_plan or None,
+            checkpoint_every=scale.checkpoint_every,
+            checkpoint_dir=self._scoped_checkpoint_dir(
+                scale.checkpoint_dir, run_tag),
+            resume_from=self._scoped_resume_from(scale.resume_from, run_tag),
         )
+
+    @staticmethod
+    def _scoped_checkpoint_dir(base: str, run_tag: str | None) -> str | None:
+        """Per-run checkpoint subdirectory.
+
+        One experiment invocation trains many federations (method x
+        dataset x sweep point), and their models disagree on parameter
+        count — unscoped, every run would overwrite the same
+        ``round_*.ckpt`` files and a resume would hand one method
+        another method's weights.
+        """
+        if not base:
+            return None
+        return os.path.join(base, run_tag) if run_tag else base
+
+    @staticmethod
+    def _scoped_resume_from(base: str, run_tag: str | None) -> str | None:
+        if not base:
+            return None
+        # A run resumes from its own tagged subdirectory when the resume
+        # target is a directory laid out by _scoped_checkpoint_dir; a
+        # direct checkpoint file (or an untagged flat directory) is used
+        # as given.
+        if run_tag and os.path.isdir(os.path.join(base, run_tag)):
+            return os.path.join(base, run_tag)
+        return base
 
     # ------------------------------------------------------------------
     # the core run
@@ -223,12 +270,22 @@ class ExperimentContext:
                                          self.dataset(dataset_name).network,
                                          seed=self.scale.seed + 29)
             meta = use_meta if use_meta is not None else (method == "LightTR")
+            # Unique per training run within one experiment invocation,
+            # so checkpoint subdirectories never collide across the
+            # method/dataset/hyper-parameter grid.
+            run_tag = re.sub(r"[^\w.-]+", "-", (
+                f"{method}_{dataset_name}_k{keep_ratio:g}_c{len(clients)}"
+                f"_f{client_fraction:g}_l{lambda0:g}_t{lt:g}"
+                f"_r{rounds if rounds is not None else self.scale.rounds}"
+                f"_u{int(meta)}_d{int(dynamic_lambda)}"
+                f"_m{int(mask_identity)}_i{int(isolated)}"))
             fed_config = self.federated_config(use_meta=meta,
                                                client_fraction=client_fraction,
                                                lambda0=lambda0, lt=lt,
                                                rounds=rounds,
                                                dynamic_lambda=dynamic_lambda,
-                                               workers=workers)
+                                               workers=workers,
+                                               run_tag=run_tag)
             start = time.perf_counter()
             if isolated:
                 result: FederatedResult = train_isolated_then_average(
@@ -455,6 +512,58 @@ def run_case_study(context: ExperimentContext, dataset_name: str = "tdrive",
         "predictions": predictions,
         "observed_flags": example.observed_flags.copy(),
     }
+
+
+def run_fault_tolerance_sweep(context: ExperimentContext,
+                              dataset_name: str = "geolife",
+                              keep_ratio: float = 0.125,
+                              dropout_rates: tuple[float, ...] = (
+                                  0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+                              fault_seed: int = 1013,
+                              task_retries: int = 0,
+                              workers: int | None = None) -> list[dict]:
+    """Failure-scenario sweep: global accuracy vs injected dropout rate.
+
+    Each run trains LightTR (without the meta module, to keep the sweep
+    in CPU-seconds) under a seeded dropout-only
+    :class:`~repro.federated.faults.FaultPlan` and reports the final
+    global accuracy alongside the failure telemetry.  ``task_retries``
+    defaults to 0 so the dropout rate is felt undamped — retried
+    attempts redraw their fault and would mask it.
+    """
+    import dataclasses
+
+    clients, global_test = context.federation(dataset_name, keep_ratio)
+    mask = context.mask_builder(dataset_name)
+    rows = []
+    with nn.use_compute_dtype(context.scale.compute_dtype), \
+            nn.use_backend(context.scale.backend):
+        factory = make_model_factory("LightTR",
+                                     context.model_config(dataset_name),
+                                     context.dataset(dataset_name).network,
+                                     seed=context.scale.seed + 29)
+        for rate in dropout_rates:
+            plan = f"dropout={rate:g},seed={fault_seed}" if rate else None
+            config = dataclasses.replace(
+                context.federated_config(
+                    use_meta=False, workers=workers,
+                    run_tag=f"faults_{dataset_name}_d{rate:g}"),
+                fault_plan=plan, task_retries=task_retries,
+            )
+            result = FederatedTrainer(factory, clients, mask, config,
+                                      global_test,
+                                      seed=context.scale.seed).run()
+            history = result.history
+            rows.append({
+                "dropout": rate,
+                "accuracy": history[-1].global_accuracy,
+                "rounds": len(history),
+                "rounds_skipped": sum(1 for r in history if not r.aggregated),
+                "failed_client_rounds": sum(len(r.failures) for r in history),
+                "completed_client_rounds": sum(len(r.completed_clients)
+                                               for r in history),
+            })
+    return rows
 
 
 def run_convergence(context: ExperimentContext, dataset_name: str = "geolife",

@@ -11,7 +11,26 @@ import numpy as np
 
 from .harness import MethodRun
 
-__all__ = ["format_table", "format_comparison_table", "ascii_scatter", "format_curves"]
+__all__ = ["format_table", "format_comparison_table", "ascii_scatter",
+           "format_curves", "format_fault_rows"]
+
+
+def format_fault_rows(rows: list[dict], title: str = "") -> str:
+    """Render :func:`~repro.experiments.harness.run_fault_tolerance_sweep`
+    rows (accuracy vs injected dropout rate) as an aligned text table."""
+    headers = ["dropout", "accuracy", "rounds", "skipped", "failed", "completed"]
+    body = [
+        [
+            f"{row['dropout']:.0%}",
+            f"{row['accuracy']:.3f}",
+            str(row["rounds"]),
+            str(row["rounds_skipped"]),
+            str(row["failed_client_rounds"]),
+            str(row["completed_client_rounds"]),
+        ]
+        for row in rows
+    ]
+    return _render(headers, body, title)
 
 
 def format_table(runs: list[MethodRun], title: str = "") -> str:

@@ -1,11 +1,23 @@
 """``repro.federated`` - client/server FedAvg orchestration for LightTR."""
 
 from .aggregation import average_flat, average_states, fedavg
+from .checkpoint import FederatedCheckpoint, checkpoint_path, latest_checkpoint
 from .client import ClientData, ClientSessionState, FederatedClient
 from .communication import CommunicationLedger, RoundCost, payload_num_bytes
+from .faults import (
+    ClientFaultError,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    forced_plan_from_env,
+    resolve_fault_plan,
+)
 from .privacy import GaussianMechanism
 from .runner import (
+    ClientFailure,
     ProcessPoolRunner,
+    RetryPolicy,
+    RoundExecution,
     RoundExecutionError,
     RoundResult,
     RoundRunner,
@@ -27,9 +39,13 @@ __all__ = [
     "average_flat", "average_states", "fedavg",
     "ClientData", "ClientSessionState", "FederatedClient",
     "CommunicationLedger", "RoundCost", "payload_num_bytes",
+    "ClientFaultError", "FaultEvent", "FaultPlan", "FaultSpec",
+    "forced_plan_from_env", "resolve_fault_plan",
+    "FederatedCheckpoint", "checkpoint_path", "latest_checkpoint",
     "GaussianMechanism",
     "RoundRunner", "SerialRunner", "ProcessPoolRunner",
     "RoundTask", "RoundResult", "RoundExecutionError", "WorkerSetup",
+    "RetryPolicy", "ClientFailure", "RoundExecution",
     "FederatedServer",
     "FederatedConfig", "FederatedTrainer", "FederatedResult", "RoundRecord",
     "build_federation", "train_isolated_then_average",

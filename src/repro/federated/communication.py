@@ -53,13 +53,21 @@ class CommunicationLedger:
     rounds: list[RoundCost] = field(default_factory=list)
 
     def record_round(self, round_index: int, global_state,
-                     uploaded_states: list) -> RoundCost:
+                     uploaded_states: list,
+                     num_broadcast: int | None = None) -> RoundCost:
         """Record one round's broadcast + uploads and return its cost.
 
         ``global_state`` and each upload may be a state dict or a flat
-        ``(P,)`` parameter vector.
+        ``(P,)`` parameter vector.  ``num_broadcast`` is the number of
+        clients the global model was *sent* to; it defaults to the
+        number of uploads, which is exact only when every selected
+        client survives the round — with partial aggregation, failed
+        clients still received the broadcast, so pass the selected
+        count explicitly.
         """
-        down = payload_num_bytes(global_state) * len(uploaded_states)
+        if num_broadcast is None:
+            num_broadcast = len(uploaded_states)
+        down = payload_num_bytes(global_state) * num_broadcast
         up = sum(payload_num_bytes(s) for s in uploaded_states)
         cost = RoundCost(
             round_index=round_index,

@@ -39,33 +39,48 @@ round histories and final global parameters:
   over the same mask representation at the same precision;
 * the trainer submits tasks in ascending client-id order and the
   runners return results in task order, so aggregation order never
-  depends on completion order.
+  depends on completion order;
+* injected faults (:mod:`repro.federated.faults`) are a pure function
+  of ``(round, client, attempt)``, so the failure/retry/survivor
+  schedule — and therefore the aggregated history — is identical under
+  both backends too.
 
 RoundTask shipping contract
 ---------------------------
 A :class:`RoundTask` must stay cheap to pickle and self-sufficient: the
-flat ``(P,)`` global vector, the client id, the local epoch count, the
-frozen teacher's flat state (or ``None``), the client's session
-snapshot (or ``None`` for in-process execution), and the six global
-switches above.  Heavy, rebuildable objects never ride on tasks — the
-datasets, road network, and constraint-mask builder travel once in the
-:class:`WorkerSetup` (the builder pickles *cache-free*: its sparse row
-pool and dense row mirrors are dropped by ``__getstate__`` and
-re-warmed in the worker via :meth:`ConstraintMaskBuilder.warm`, which
-fills sparse rows only).
+flat ``(P,)`` global vector, the client id, the round index, the local
+epoch count, the frozen teacher's flat state (or ``None``), the
+client's session snapshot (or ``None`` for in-process execution), and
+the six global switches above.  Heavy, rebuildable objects never ride
+on tasks — the datasets, road network, constraint-mask builder, and
+fault plan travel once in the :class:`WorkerSetup` (the builder pickles
+*cache-free*: its sparse row pool and dense row mirrors are dropped by
+``__getstate__`` and re-warmed in the worker via
+:meth:`ConstraintMaskBuilder.warm`, which fills sparse rows only).
 
-Failure handling: a dead worker, unpicklable payload, or task timeout
-raises :class:`RoundExecutionError`; the trainer catches it, warns, and
-re-executes the round with a :class:`SerialRunner` — the session
-snapshots inside the tasks restore the exact pre-round state, so the
-run continues deterministically.
+Failure handling
+----------------
+Per-client failures (an injected fault, a task exception, a blown
+per-task deadline) are **per-task outcomes**, not round aborts:
+:meth:`RoundRunner.run_round_tolerant` retries the same
+:class:`RoundTask` up to :attr:`RetryPolicy.retries` times — the
+session snapshot inside the task makes re-execution exact — and then
+records a :class:`ClientFailure` instead of raising.  Only a
+*whole-pool* failure (dead workers after one in-round pool rebuild)
+raises :class:`RoundExecutionError`; the trainer then re-executes just
+that round with a :class:`SerialRunner` and keeps the pool for the
+next round — permanent serial demotion is the last resort after
+consecutive whole-pool failures.  The strict :meth:`RoundRunner.run_round`
+API (fail the round on any error) is kept for callers that want the
+original fail-closed behaviour.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -77,16 +92,19 @@ from ..core.mask import ConstraintMaskBuilder
 from ..core.training import TrainingConfig
 from ..nn.flatten import FlatParameterSpace
 from .client import ClientData, ClientSessionState, FederatedClient
+from .faults import ClientFaultError, FaultEvent, FaultPlan
 
 __all__ = [
     "RoundTask", "RoundResult", "RoundExecutionError", "WorkerSetup",
+    "RetryPolicy", "ClientFailure", "RoundExecution",
     "RoundRunner", "SerialRunner", "ProcessPoolRunner", "preferred_start_method",
 ]
 
 
 class RoundExecutionError(RuntimeError):
-    """A parallel round could not be executed (worker crash, pickling
-    failure, or timeout).  The trainer falls back to serial execution."""
+    """A parallel round could not be executed at all (whole-pool
+    failure that survived an in-round rebuild, or pickling failure).
+    The trainer re-runs the round serially."""
 
 
 def preferred_start_method() -> str | None:
@@ -114,6 +132,7 @@ class WorkerSetup:
     lambda0: float = 5.0
     lt: float = 0.4
     dynamic_lambda: bool = True
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +150,7 @@ class RoundTask:
     exchange_dtype: str = "float64"
     compute_dtype: str = "float64"
     backend: str = "reference"
+    round_index: int = 0  # fault-plan coordinate
 
 
 @dataclass(frozen=True)
@@ -143,6 +163,88 @@ class RoundResult:
     session: ClientSessionState | None  # None when the live client ran in-process
     params_flat: np.ndarray | None = None  # exact float64 params when the
     # exchange dtype is reduced (sync-back must not round the live client)
+    # or when the upload was fault-corrupted (sync-back must not adopt
+    # the corruption — only the wire payload is poisoned)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task failure handling knobs of one tolerant round."""
+
+    retries: int = 1  # re-attempts after the first failure
+    deadline: float | None = None  # per-task wall-clock seconds
+    backoff: float = 0.0  # sleep ``backoff * attempt`` before a retry
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClientFailure:
+    """One client's final failure for one round (after retries)."""
+
+    client_id: int
+    kind: str  # "crash" | "dropout" | "timeout" | "corrupt" | "error" | "rejected"
+    attempts: int
+    message: str = ""
+
+
+@dataclass
+class RoundExecution:
+    """Everything a tolerant round produced."""
+
+    results: list[RoundResult]  # survivors, in task (= client-id) order
+    failures: list[ClientFailure] = field(default_factory=list)
+    retry_counts: dict[int, int] = field(default_factory=dict)  # extra attempts
+    pool_rebuilds: int = 0
+
+
+# ----------------------------------------------------------------------
+# fault-injection hooks shared by both backends
+# ----------------------------------------------------------------------
+def _inject_pre_train(plan: FaultPlan | None, task: RoundTask, attempt: int,
+                      deadline: float | None) -> FaultEvent | None:
+    """Consult the plan before local training.
+
+    Raises :class:`ClientFaultError` for no-shows and deadline-busting
+    stragglers; sleeps surviving stragglers; returns the event for
+    faults handled after training (crash / corrupt)."""
+    if plan is None:
+        return None
+    fault = plan.draw(task.round_index, task.client_id, attempt)
+    if fault is None:
+        return None
+    if fault.kind == "dropout":
+        raise ClientFaultError("dropout", task.client_id, "injected no-show")
+    if fault.kind == "straggler":
+        if deadline is not None and fault.delay >= deadline:
+            raise ClientFaultError(
+                "timeout", task.client_id,
+                f"injected straggler delay {fault.delay:g}s >= deadline "
+                f"{deadline:g}s")
+        time.sleep(fault.delay)
+        return None
+    return fault  # crash / corrupt: handled post-training
+
+
+def _inject_post_train(plan: FaultPlan, task: RoundTask, attempt: int,
+                       fault: FaultEvent, flat: np.ndarray
+                       ) -> tuple[np.ndarray, bool]:
+    """Apply a post-training fault: raise for a crash, corrupt the
+    upload copy otherwise.  Returns ``(upload, corrupted)``."""
+    if fault.kind == "crash":
+        raise ClientFaultError("crash", task.client_id,
+                               "injected crash before upload")
+    if fault.kind == "corrupt":
+        corrupted = plan.corrupt_upload(flat, task.round_index, task.client_id,
+                                        attempt, fault.corrupt_mode)
+        return corrupted, True
+    return flat, False
 
 
 # ----------------------------------------------------------------------
@@ -153,8 +255,8 @@ class RoundRunner:
 
     ``ships_state`` tells the trainer whether tasks must carry session
     snapshots (and results must be synced back into the live clients);
-    ``fallible`` marks backends whose failures should trigger the
-    serial fallback instead of propagating.
+    ``fallible`` marks backends whose whole-round failures should
+    trigger the serial fallback instead of propagating.
     """
 
     ships_state = False
@@ -163,7 +265,18 @@ class RoundRunner:
     def run_round(self, tasks: Sequence[RoundTask],
                   distiller: MetaKnowledgeDistiller | None = None
                   ) -> list[RoundResult]:
+        """Strict execution: any failure fails the whole round."""
         raise NotImplementedError
+
+    def run_round_tolerant(self, tasks: Sequence[RoundTask],
+                           distiller: MetaKnowledgeDistiller | None = None,
+                           policy: RetryPolicy | None = None
+                           ) -> RoundExecution:
+        """Per-client execution: failures become :class:`ClientFailure`
+        entries instead of aborting the round.  The base implementation
+        wraps the strict path (all-or-nothing) for custom runners that
+        only override :meth:`run_round`."""
+        return RoundExecution(results=self.run_round(tasks, distiller))
 
     def close(self) -> None:
         """Release backend resources (idempotent)."""
@@ -172,8 +285,10 @@ class RoundRunner:
 class SerialRunner(RoundRunner):
     """In-process execution against the trainer's live clients."""
 
-    def __init__(self, clients: Sequence[FederatedClient]):
+    def __init__(self, clients: Sequence[FederatedClient],
+                 fault_plan: FaultPlan | None = None):
         self.clients = clients
+        self.fault_plan = fault_plan
 
     def run_round(self, tasks: Sequence[RoundTask],
                   distiller: MetaKnowledgeDistiller | None = None
@@ -191,6 +306,58 @@ class SerialRunner(RoundRunner):
             results.append(RoundResult(task.client_id, flat, metrics, None))
         return results
 
+    def _attempt(self, client: FederatedClient, task: RoundTask, attempt: int,
+                 distiller: MetaKnowledgeDistiller | None,
+                 deadline: float | None) -> RoundResult:
+        fault = _inject_pre_train(self.fault_plan, task, attempt, deadline)
+        if task.session is not None:
+            client.load_session_state(task.session)
+        client.receive_global_flat(task.global_flat)
+        flat, metrics = client.local_train_flat(task.epochs, distiller)
+        if fault is not None:
+            flat, _ = _inject_post_train(self.fault_plan, task, attempt,
+                                         fault, flat)
+        return RoundResult(task.client_id, flat, metrics, None)
+
+    def run_round_tolerant(self, tasks: Sequence[RoundTask],
+                           distiller: MetaKnowledgeDistiller | None = None,
+                           policy: RetryPolicy | None = None
+                           ) -> RoundExecution:
+        policy = policy if policy is not None else RetryPolicy()
+        execution = RoundExecution(results=[])
+        for task in tasks:
+            client = self.clients[task.client_id]
+            # Snapshot the exact pre-round parameters: a finally-failed
+            # client must end the round in its pre-round state, exactly
+            # like a pool run whose failed client never syncs back.
+            saved_params = (client.flat_parameters(dtype=np.float64)
+                            if task.session is not None else None)
+            attempt = 0
+            while True:
+                try:
+                    result = self._attempt(client, task, attempt, distiller,
+                                           policy.deadline)
+                    execution.results.append(result)
+                    break
+                except ClientFaultError as exc:
+                    # Only injected/typed client faults are tolerated in
+                    # serial execution — real exceptions propagate (an
+                    # in-process bug is a bug, not a degraded client).
+                    if attempt < policy.retries and task.session is not None:
+                        attempt += 1
+                        if policy.backoff:
+                            time.sleep(policy.backoff * attempt)
+                        continue
+                    if task.session is not None:
+                        client.load_session_state(task.session)
+                        client.receive_global_flat(saved_params)
+                    execution.failures.append(ClientFailure(
+                        task.client_id, exc.kind, attempt + 1, exc.message))
+                    break
+            if attempt:
+                execution.retry_counts[task.client_id] = attempt
+        return execution
+
 
 # --- worker-process side of the pool backend ---------------------------
 # One module-global per worker process, installed by the pool
@@ -203,9 +370,10 @@ def _init_worker(setup: WorkerSetup) -> None:
     _WORKER = _WorkerState(setup)
 
 
-def _execute_task(task: RoundTask) -> RoundResult:
+def _execute_task(task: RoundTask, attempt: int = 0,
+                  deadline: float | None = None) -> RoundResult:
     assert _WORKER is not None, "worker pool used before initialization"
-    return _WORKER.execute(task)
+    return _WORKER.execute(task, attempt, deadline)
 
 
 class _WorkerState:
@@ -267,7 +435,8 @@ class _WorkerState:
                 if p.data.dtype != dtype:
                     p.data = p.data.astype(dtype)
 
-    def execute(self, task: RoundTask) -> RoundResult:
+    def execute(self, task: RoundTask, attempt: int = 0,
+                deadline: float | None = None) -> RoundResult:
         # Mirror the parent's process-global switches so both backends
         # run identical kernels over the same mask representation at
         # identical compute and wire precision.  The previous values are
@@ -283,6 +452,8 @@ class _WorkerState:
             nn.set_backend(task.backend),
         )
         try:
+            plan = self.setup.fault_plan
+            fault = _inject_pre_train(plan, task, attempt, deadline)
             self._ensure_model_dtype()
             client = self._client(task.client_id)
             if task.session is not None:
@@ -293,6 +464,14 @@ class _WorkerState:
             params_flat = None
             if np.dtype(task.exchange_dtype) != np.float64:
                 params_flat = client.flat_parameters(dtype=np.float64)
+            if fault is not None:
+                flat, corrupted = _inject_post_train(plan, task, attempt,
+                                                     fault, flat)
+                if corrupted and params_flat is None:
+                    # Only the wire payload is poisoned: ship the exact
+                    # parameters so sync-back matches a serial client,
+                    # whose local model never saw the corruption.
+                    params_flat = client.flat_parameters(dtype=np.float64)
             return RoundResult(task.client_id, flat, metrics,
                                client.session_state(), params_flat)
         finally:
@@ -319,9 +498,10 @@ class ProcessPoolRunner(RoundRunner):
         Multiprocessing start method override; default
         :func:`preferred_start_method`.
     task_timeout:
-        Optional per-task wall-clock limit in seconds; an overrun
-        raises :class:`RoundExecutionError` (and thereby triggers the
-        trainer's serial fallback).
+        Optional per-task wall-clock limit in seconds for the strict
+        :meth:`run_round` path; an overrun raises
+        :class:`RoundExecutionError`.  The tolerant path takes its
+        deadline from the :class:`RetryPolicy` instead.
     """
 
     ships_state = True
@@ -355,15 +535,147 @@ class ProcessPoolRunner(RoundRunner):
         # teacher_flat so the live teacher never crosses the wire.
         try:
             pool = self._ensure_pool()
+            submitted = time.monotonic()
             futures = [pool.submit(_execute_task, task) for task in tasks]
             # Collect in submission (= client-id) order: aggregation
-            # never depends on completion order.
-            return [future.result(timeout=self.task_timeout)
-                    for future in futures]
+            # never depends on completion order.  Each future's budget
+            # is measured from round start, not from the previous
+            # future's completion — earlier waits must not silently
+            # extend a later task's allowance.
+            results = []
+            for future in futures:
+                remaining = None
+                if self.task_timeout is not None:
+                    remaining = max(
+                        0.0, submitted + self.task_timeout - time.monotonic())
+                results.append(future.result(timeout=remaining))
+            return results
         except Exception as exc:
             self._abort()
             raise RoundExecutionError(
                 f"process-pool round execution failed: {exc!r}") from exc
+
+    # ------------------------------------------------------------------
+    # tolerant execution: per-task outcomes, retries, pool rebuild
+    # ------------------------------------------------------------------
+    def run_round_tolerant(self, tasks: Sequence[RoundTask],
+                           distiller: MetaKnowledgeDistiller | None = None,
+                           policy: RetryPolicy | None = None
+                           ) -> RoundExecution:
+        policy = policy if policy is not None else RetryPolicy()
+        if policy.deadline is None and self.task_timeout is not None:
+            # A runner-level task_timeout keeps bounding tasks on the
+            # tolerant path too.
+            policy = RetryPolicy(policy.retries, self.task_timeout,
+                                 policy.backoff)
+        execution = RoundExecution(results=[])
+        task_by_client = {task.client_id: task for task in tasks}
+        attempts = {task.client_id: 0 for task in tasks}
+        results_by_client: dict[int, RoundResult] = {}
+        pending: dict = {}  # future -> (client_id, deadline timestamp)
+        abandoned: list = []  # timed-out futures that may still be running
+        rebuilt = False
+
+        def submit(client_id: int) -> None:
+            pool = self._ensure_pool()
+            future = pool.submit(_execute_task, task_by_client[client_id],
+                                 attempts[client_id], policy.deadline)
+            expiry = (time.monotonic() + policy.deadline
+                      if policy.deadline is not None else None)
+            pending[future] = (client_id, expiry)
+
+        def fail_or_retry(client_id: int, kind: str, message: str) -> None:
+            if attempts[client_id] < policy.retries:
+                attempts[client_id] += 1
+                execution.retry_counts[client_id] = attempts[client_id]
+                if policy.backoff:
+                    time.sleep(policy.backoff * attempts[client_id])
+                submit(client_id)
+            else:
+                execution.failures.append(ClientFailure(
+                    client_id, kind, attempts[client_id] + 1, message))
+
+        def rebuild_pool(outstanding: list[int], cause: Exception) -> None:
+            nonlocal rebuilt
+            pending.clear()
+            self._abort()
+            execution.pool_rebuilds += 1
+            if rebuilt:
+                raise RoundExecutionError(
+                    f"process pool died again after an in-round rebuild: "
+                    f"{cause!r}") from cause
+            rebuilt = True
+            for client_id in outstanding:
+                submit(client_id)
+
+        try:
+            for task in tasks:
+                try:
+                    submit(task.client_id)
+                except BrokenExecutor as exc:
+                    # Futures already pending on the broken pool will
+                    # never complete: resubmit every unfinished task.
+                    remaining = [t.client_id for t in tasks
+                                 if t.client_id not in results_by_client]
+                    rebuild_pool(remaining, exc)
+                    break  # rebuild_pool resubmitted everything outstanding
+
+            while pending:
+                now = time.monotonic()
+                expiries = [expiry for _, expiry in pending.values()
+                            if expiry is not None]
+                timeout = (max(0.0, min(expiries) - now) if expiries else None)
+                done, _ = wait(set(pending), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    client_id, _ = pending.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        results_by_client[client_id] = future.result()
+                    elif isinstance(exc, ClientFaultError):
+                        fail_or_retry(client_id, exc.kind, exc.message)
+                    elif isinstance(exc, BrokenExecutor):
+                        # A dead worker kills every in-flight future:
+                        # rebuild the pool once and re-ship everything
+                        # outstanding (session snapshots make the
+                        # re-execution exact).  Worker death is not the
+                        # tasks' fault, so attempt counts are unchanged.
+                        outstanding = [client_id]
+                        outstanding += [cid for cid, _ in pending.values()]
+                        rebuild_pool(sorted(set(outstanding)), exc)
+                        break  # pending was rebuilt; restart the wait
+                    else:
+                        fail_or_retry(client_id, "error", repr(exc))
+                else:
+                    # No pool rebuild happened: expire overdue futures.
+                    now = time.monotonic()
+                    overdue = [future for future, (_, expiry) in pending.items()
+                               if expiry is not None and expiry <= now]
+                    for future in overdue:
+                        client_id, _ = pending.pop(future)
+                        if not future.cancel():
+                            # Already running: the worker stays busy with
+                            # it; remember to recycle the pool afterwards.
+                            abandoned.append(future)
+                        fail_or_retry(
+                            client_id, "timeout",
+                            f"task exceeded the {policy.deadline:g}s deadline")
+        except BrokenExecutor as exc:
+            self._abort()
+            raise RoundExecutionError(
+                f"process-pool round execution failed: {exc!r}") from exc
+
+        if any(not future.done() for future in abandoned):
+            # Hung tasks still occupy workers: recycle the pool so the
+            # next round starts with a clean set of processes.
+            self._abort()
+            execution.pool_rebuilds += 1
+
+        execution.results = [results_by_client[task.client_id]
+                             for task in tasks
+                             if task.client_id in results_by_client]
+        execution.failures.sort(key=lambda failure: failure.client_id)
+        return execution
 
     def _abort(self) -> None:
         """Tear the pool down without waiting (a worker is dead or hung)."""

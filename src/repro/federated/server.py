@@ -22,6 +22,11 @@ from .aggregation import average_flat, average_states
 
 __all__ = ["FederatedServer"]
 
+#: Default ceiling on the L2 norm of an accepted upload.  Healthy
+#: uploads sit orders of magnitude below this; a norm-blowup corruption
+#: (:data:`repro.federated.faults.NORM_BLOWUP`) sits orders above.
+DEFAULT_MAX_UPLOAD_NORM = 1e6
+
 
 class FederatedServer:
     """Orchestrates parameter exchange; never sees raw trajectories."""
@@ -43,6 +48,11 @@ class FederatedServer:
         """
         return self._space.get_flat(dtype=dtype)
 
+    def load_global_flat(self, flat: np.ndarray) -> None:
+        """Overwrite the global parameters from one flat ``(P,)`` vector
+        (checkpoint restore)."""
+        self._space.set_flat(flat)
+
     @property
     def num_parameters(self) -> int:
         """Size ``P`` of the flat parameter vector."""
@@ -57,21 +67,55 @@ class FederatedServer:
         picks = rng.choice(num_clients, size=min(count, num_clients), replace=False)
         return sorted(int(i) for i in picks)
 
+    def validate_upload(self, vector,
+                        max_norm: float | None = DEFAULT_MAX_UPLOAD_NORM
+                        ) -> str | None:
+        """Why this upload must be rejected, or None if it is acceptable.
+
+        Checks — in order — that the payload is an array of the global
+        shape ``(P,)``, of a floating dtype, fully finite, and (when
+        ``max_norm`` is given) of bounded L2 norm.  The trainer treats
+        a rejection as a client failure for the round, so one poisoned
+        payload can never NaN the global average.
+        """
+        arr = np.asarray(vector)
+        expected = self._space.total_size
+        if arr.shape != (expected,):
+            return f"shape {arr.shape} != ({expected},)"
+        if not np.issubdtype(arr.dtype, np.floating):
+            return f"non-float dtype {arr.dtype}"
+        if not np.all(np.isfinite(arr)):
+            bad = int(arr.size - np.isfinite(arr).sum())
+            return f"{bad} non-finite entries"
+        if max_norm is not None:
+            norm = float(np.linalg.norm(arr.astype(np.float64, copy=False)))
+            if norm > max_norm:
+                return f"norm {norm:.3g} exceeds {max_norm:g}"
+        return None
+
     def aggregate_flat(self, vectors: list[np.ndarray],
                        weights: list[float] | None = None) -> np.ndarray:
         """Average uploaded flat vectors into the global model.
 
         Uploads may arrive in any float dtype (float32 on the wire with
         the reduced exchange dtype); the average itself runs in float64.
+        Non-finite uploads are refused outright — callers wanting
+        per-client tolerance screen with :meth:`validate_upload` first.
         """
         if not vectors:
             raise ValueError("cannot aggregate zero states")
         expected = self._space.total_size
         for i, vec in enumerate(vectors):
-            if np.asarray(vec).shape != (expected,):
+            arr = np.asarray(vec)
+            if arr.shape != (expected,):
                 raise ValueError(
-                    f"client vector {i} has shape {np.asarray(vec).shape}, "
+                    f"client vector {i} has shape {arr.shape}, "
                     f"expected ({expected},)"
+                )
+            if not np.all(np.isfinite(arr)):
+                raise ValueError(
+                    f"client vector {i} contains non-finite entries; "
+                    f"screen uploads with validate_upload() first"
                 )
         new_flat = average_flat(np.stack(vectors), weights)
         self._space.set_flat(new_flat)

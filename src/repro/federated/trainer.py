@@ -9,20 +9,46 @@ and :class:`FederatedTrainer` runs the LightTR training loop:
 2. for each communication round: sample a client fraction, broadcast
    the global model, run meta-knowledge enhanced local training
    (Algorithm 2) on each selected client, and aggregate (Algorithm 3);
-3. log per-round losses, accuracies, and communication bytes.
+3. log per-round losses, accuracies, communication bytes, and failure
+   telemetry.
 
 The trainer is model-agnostic: pass a different ``model_factory`` to
 train any of the ``+FL`` baselines with the identical protocol (the
 paper's FC+FL / RNN+FL / MTrajRec+FL / RNTrajRec+FL setting).
 
 Round execution is pluggable (:mod:`repro.federated.runner`): with
-``FederatedConfig(workers=N)`` (or ``FederatedTrainer(...,
-workers=N)``) the selected clients of each round train in ``N``
-persistent worker processes instead of sequentially.  With fixed seeds
-the parallel run is bit-identical to the serial one — tasks carry each
-client's RNG/optimiser session state and uploads are aggregated in
-client-id order — and a failing pool falls back to serial execution
-with a warning, continuing the run deterministically.
+``FederatedConfig(workers=N)`` the selected clients of each round train
+in ``N`` persistent worker processes instead of sequentially.  With
+fixed seeds the parallel run is bit-identical to the serial one — tasks
+carry each client's RNG/optimiser session state and uploads are
+aggregated in client-id order.
+
+Fault tolerance (docs/ROBUSTNESS.md)
+------------------------------------
+The runtime degrades gracefully instead of failing closed:
+
+* per-client failures — an injected fault from a
+  :class:`~repro.federated.faults.FaultPlan`, a blown per-task
+  deadline, or a task exception — are retried up to ``task_retries``
+  times and then recorded in the round's telemetry, never raised;
+* uploads are screened by
+  :meth:`~repro.federated.server.FederatedServer.validate_upload`
+  before aggregation, so a NaN/Inf/blown-norm/wrong-shape payload
+  counts as a client failure instead of poisoning the global average;
+* the round aggregates the survivors (FedAvg weights renormalise over
+  them automatically) when at least ``min_clients_per_round`` uploads
+  pass validation; below quorum the global vector is held and the
+  round is recorded as skipped with NaN-free sentinel statistics;
+* a whole-pool failure triggers an in-runner pool rebuild, then a
+  one-round serial re-run; only *consecutive* whole-pool failures
+  demote the run to serial permanently (with a warning);
+* ``checkpoint_every``/``checkpoint_dir`` persist a
+  :class:`~repro.federated.checkpoint.FederatedCheckpoint` every K
+  rounds and ``resume_from`` continues a killed run bit-identically.
+
+Under the same fault plan, serial and process-pool runs still produce
+bit-identical round histories — the fault schedule is a pure function
+of ``(round, client, attempt)``, not of scheduling.
 """
 
 from __future__ import annotations
@@ -43,17 +69,21 @@ from ..data.dataset import TrajectoryDataset
 from ..data.partition import partition_dataset
 from ..data.synthetic import SyntheticDataset
 from ..nn.flatten import FlatParameterSpace
+from .checkpoint import FederatedCheckpoint, checkpoint_path, latest_checkpoint
 from .client import ClientData, FederatedClient
 from .communication import CommunicationLedger
+from .faults import FaultPlan, FaultSpec, resolve_fault_plan
 from .runner import (
+    ClientFailure,
     ProcessPoolRunner,
+    RetryPolicy,
     RoundExecutionError,
     RoundRunner,
     RoundTask,
     SerialRunner,
     WorkerSetup,
 )
-from .server import FederatedServer
+from .server import DEFAULT_MAX_UPLOAD_NORM, FederatedServer
 
 __all__ = ["FederatedConfig", "RoundRecord", "FederatedResult",
            "build_federation", "FederatedTrainer", "train_isolated_then_average"]
@@ -61,7 +91,7 @@ __all__ = ["FederatedConfig", "RoundRecord", "FederatedResult",
 
 @dataclass(frozen=True)
 class FederatedConfig:
-    """Knobs of the federated run (Algorithm 3 inputs)."""
+    """Knobs of the federated run (Algorithm 3 inputs + robustness)."""
 
     rounds: int = 10
     client_fraction: float = 1.0
@@ -74,6 +104,16 @@ class FederatedConfig:
     dynamic_lambda: bool = True  # False = fixed lambda0 (design ablation)
     aggregation: str = "uniform"  # "uniform" (Alg. 3) or "fedavg" (weighted)
     workers: int = 0  # 0 = serial rounds; N > 0 = process-pool round runner
+    # --- robustness knobs (docs/ROBUSTNESS.md) ---
+    min_clients_per_round: int = 1  # quorum: aggregate when >= this many survive
+    task_retries: int = 1  # re-attempts per failed client task
+    task_deadline: float | None = None  # per-task wall-clock seconds
+    task_backoff: float = 0.0  # sleep backoff * attempt before a retry
+    max_upload_norm: float | None = DEFAULT_MAX_UPLOAD_NORM  # validation bound
+    fault_plan: "FaultPlan | FaultSpec | str | None" = None  # injection schedule
+    checkpoint_every: int = 0  # persist state every K rounds (0 = never)
+    checkpoint_dir: str | None = None
+    resume_from: str | None = None  # checkpoint file or directory
 
     def __post_init__(self):
         if self.rounds < 1:
@@ -84,17 +124,56 @@ class FederatedConfig:
             raise ValueError(f"unknown aggregation {self.aggregation!r}")
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = serial)")
+        if self.min_clients_per_round < 1:
+            raise ValueError("min_clients_per_round must be >= 1")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError("task_deadline must be positive (or None)")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 = never)")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
 
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """History entry for one communication round."""
+    """History entry for one communication round.
+
+    The failure telemetry is part of the serial-vs-parallel determinism
+    contract: under the same fault plan both backends record identical
+    failures, retries, and survivor sets.  Only ``fallback_cause`` is
+    excluded from equality — it describes *this execution's* pool
+    health (e.g. a worker killed by the OS), not the training
+    trajectory.
+    """
 
     round_index: int
     selected_clients: tuple[int, ...]
     mean_loss: float
     mean_lambda: float
     global_accuracy: float
+    completed_clients: tuple[int, ...] = ()  # uploads that passed validation
+    failures: tuple[ClientFailure, ...] = ()  # ascending client id
+    retries: tuple[tuple[int, int], ...] = ()  # (client_id, extra attempts)
+    aggregated: bool = True  # False = quorum failed, global vector held
+    fallback_cause: str = field(default="", compare=False)
+
+    @property
+    def failed_clients(self) -> tuple[int, ...]:
+        return tuple(f.client_id for f in self.failures)
+
+    @property
+    def failure_kinds(self) -> tuple[str, ...]:
+        return tuple(f.kind for f in self.failures)
+
+    @property
+    def retried_clients(self) -> tuple[int, ...]:
+        return tuple(client_id for client_id, _ in self.retries)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(count for _, count in self.retries)
 
 
 @dataclass
@@ -164,6 +243,8 @@ class FederatedTrainer:
         self.global_test = global_test
         self.privatizer = privatizer  # optional GaussianMechanism
         self._rng = np.random.default_rng(seed)
+        # None lets the REPRO_FAULT_PLAN environment forcing apply.
+        self.fault_plan = resolve_fault_plan(config.fault_plan)
 
         self.server = FederatedServer(model_factory())
         self.clients = [
@@ -179,6 +260,8 @@ class FederatedTrainer:
             raise ValueError("workers must be >= 0 (0 = serial)")
         self._runner = runner  # explicit injection wins; else built lazily
         self._teacher_flat: np.ndarray | None = None
+        self._last_accuracy: float | None = None  # held when quorum fails
+        self._pool_failures = 0  # consecutive whole-pool failures
 
     # ------------------------------------------------------------------
     # round runner plumbing
@@ -192,6 +275,7 @@ class FederatedTrainer:
             lambda0=self.config.lambda0,
             lt=self.config.lt,
             dynamic_lambda=self.config.dynamic_lambda,
+            fault_plan=self.fault_plan,
         )
 
     def _get_runner(self) -> RoundRunner:
@@ -202,8 +286,27 @@ class FederatedTrainer:
                     workers=min(self.workers, len(self.clients)),
                 )
             else:
-                self._runner = SerialRunner(self.clients)
+                self._runner = SerialRunner(self.clients, self.fault_plan)
         return self._runner
+
+    def _retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(retries=self.config.task_retries,
+                           deadline=self.config.task_deadline,
+                           backoff=self.config.task_backoff)
+
+    def _handle_pool_failure(self, reason: Exception) -> RoundRunner:
+        """One whole-pool failure: re-run this round serially, keep the
+        pool runner for the next round (its dead pool rebuilds lazily).
+        Consecutive whole-pool failures demote the run permanently."""
+        self._pool_failures += 1
+        if self._pool_failures >= 2:
+            return self._fall_back_to_serial(reason)
+        warnings.warn(
+            f"parallel round execution failed ({reason}); falling back to "
+            f"serial execution for this round", RuntimeWarning,
+            stacklevel=3,
+        )
+        return SerialRunner(self.clients, self.fault_plan)
 
     def _fall_back_to_serial(self, reason: Exception) -> RoundRunner:
         warnings.warn(
@@ -213,35 +316,119 @@ class FederatedTrainer:
         )
         if self._runner is not None:
             self._runner.close()
-        self._runner = SerialRunner(self.clients)
+        self._runner = SerialRunner(self.clients, self.fault_plan)
         return self._runner
+
+    # ------------------------------------------------------------------
+    # checkpoint/resume plumbing
+    # ------------------------------------------------------------------
+    def _load_resume_checkpoint(self) -> FederatedCheckpoint | None:
+        target = self.config.resume_from
+        if not target:
+            return None
+        path = latest_checkpoint(target)
+        if path is None:
+            raise FileNotFoundError(f"no checkpoint found at {target!r}")
+        return FederatedCheckpoint.load(path)
+
+    def _restore(self, checkpoint: FederatedCheckpoint,
+                 ledger: CommunicationLedger,
+                 history: list[RoundRecord]) -> int:
+        """Rewind every mutable input of the remaining rounds."""
+        if len(checkpoint.client_sessions) != len(self.clients):
+            raise ValueError(
+                f"checkpoint has {len(checkpoint.client_sessions)} clients, "
+                f"trainer has {len(self.clients)} — not the same federation")
+        expected = self.server.global_flat(dtype=np.float64).size
+        if checkpoint.global_flat.size != expected:
+            raise ValueError(
+                f"checkpoint global vector has {checkpoint.global_flat.size} "
+                f"parameters, this trainer's model has {expected} — not the "
+                f"same federation")
+        self.server.load_global_flat(checkpoint.global_flat)
+        for client, session, params in zip(self.clients,
+                                           checkpoint.client_sessions,
+                                           checkpoint.client_params):
+            client.receive_global_flat(params)
+            client.load_session_state(session)
+        self._rng.bit_generator.state = checkpoint.trainer_rng_state
+        ledger.rounds.extend(checkpoint.ledger_rounds)
+        history.extend(checkpoint.history)
+        self._last_accuracy = checkpoint.last_accuracy
+        self._pool_failures = checkpoint.pool_failures
+        return checkpoint.next_round
+
+    def _save_checkpoint(self, next_round: int, ledger: CommunicationLedger,
+                         history: list[RoundRecord]) -> str:
+        checkpoint = FederatedCheckpoint(
+            next_round=next_round,
+            global_flat=self.server.global_flat(dtype=np.float64),
+            client_sessions=tuple(c.session_state() for c in self.clients),
+            client_params=tuple(c.flat_parameters(dtype=np.float64)
+                                for c in self.clients),
+            trainer_rng_state=self._rng.bit_generator.state,
+            teacher_flat=self._teacher_flat,
+            history=list(history),
+            ledger_rounds=list(ledger.rounds),
+            last_accuracy=self._last_accuracy,
+            pool_failures=self._pool_failures,
+        )
+        return checkpoint.save(
+            checkpoint_path(self.config.checkpoint_dir, next_round))
+
+    def _rebuild_distiller(self, teacher_flat: np.ndarray
+                           ) -> MetaKnowledgeDistiller:
+        """A distiller over a teacher rebuilt from its flat snapshot —
+        exactly what pool workers do every round, so resumed
+        distillation is bit-identical to the uninterrupted run."""
+        teacher = self.model_factory()
+        FlatParameterSpace.from_module(teacher).set_flat(teacher_flat)
+        return MetaKnowledgeDistiller(
+            teacher, self.mask_builder, lambda0=self.config.lambda0,
+            lt=self.config.lt, dynamic=self.config.dynamic_lambda,
+        )
 
     # ------------------------------------------------------------------
     # the full pipeline
     # ------------------------------------------------------------------
     def run(self) -> FederatedResult:
         """Teacher pre-training (optional) + Algorithm 3 rounds."""
+        resume = self._load_resume_checkpoint()
         teacher_result = None
         distiller = None
         if self.config.use_meta:
-            teacher_result = self._train_teacher()
-            distiller = MetaKnowledgeDistiller(
-                teacher_result.teacher, self.mask_builder,
-                lambda0=self.config.lambda0, lt=self.config.lt,
-                dynamic=self.config.dynamic_lambda,
-            )
-            # The teacher is frozen after pre-training: snapshot it once
-            # (always float64 — the teacher never crosses the wire as a
-            # true upload) for worker-side distiller reconstruction.
-            self._teacher_flat = FlatParameterSpace.from_module(
-                teacher_result.teacher).get_flat(dtype=np.float64)
+            if resume is not None:
+                if resume.teacher_flat is None:
+                    raise ValueError(
+                        "use_meta=True but the checkpoint has no teacher "
+                        "state (it was taken from a use_meta=False run)")
+                self._teacher_flat = resume.teacher_flat
+                distiller = self._rebuild_distiller(resume.teacher_flat)
+            else:
+                teacher_result = self._train_teacher()
+                distiller = MetaKnowledgeDistiller(
+                    teacher_result.teacher, self.mask_builder,
+                    lambda0=self.config.lambda0, lt=self.config.lt,
+                    dynamic=self.config.dynamic_lambda,
+                )
+                # The teacher is frozen after pre-training: snapshot it once
+                # (always float64 — the teacher never crosses the wire as a
+                # true upload) for worker-side distiller reconstruction.
+                self._teacher_flat = FlatParameterSpace.from_module(
+                    teacher_result.teacher).get_flat(dtype=np.float64)
 
         ledger = CommunicationLedger()
         history: list[RoundRecord] = []
+        start_round = 0
+        if resume is not None:
+            start_round = self._restore(resume, ledger, history)
         try:
-            for round_index in range(self.config.rounds):
+            for round_index in range(start_round, self.config.rounds):
                 record = self._run_round(round_index, distiller, ledger)
                 history.append(record)
+                if (self.config.checkpoint_every
+                        and (round_index + 1) % self.config.checkpoint_every == 0):
+                    self._save_checkpoint(round_index + 1, ledger, history)
         finally:
             if self._runner is not None:
                 self._runner.close()
@@ -280,6 +467,10 @@ class FederatedTrainer:
         # privatisation, and the stacked (C, P) average.
         global_flat = self.server.global_flat()
         runner = self._get_runner()
+        # Sessions ship whenever the round may be re-executed: a pool
+        # worker needs them anyway, and a serial retry must rewind the
+        # live client to the exact pre-round state.
+        ship_sessions = runner.ships_state or self.fault_plan is not None
         tasks = [
             RoundTask(
                 client_id=client_id,
@@ -287,59 +478,104 @@ class FederatedTrainer:
                 epochs=self.config.local_epochs,
                 teacher_flat=self._teacher_flat if distiller is not None else None,
                 session=(self.clients[client_id].session_state()
-                         if runner.ships_state else None),
+                         if ship_sessions else None),
                 fused_kernels=nn.fused_kernels_enabled(),
                 sparse_masks=nn.sparse_masks_enabled(),
                 packed_decode=nn.packed_decode_enabled(),
                 exchange_dtype=nn.get_default_dtype().name,
                 compute_dtype=nn.get_compute_dtype().name,
                 backend=nn.get_backend(),
+                round_index=round_index,
             )
             for client_id in selected  # ascending: fixes aggregation order
         ]
+        policy = self._retry_policy()
+        fallback_cause = ""
         try:
-            results = runner.run_round(tasks, distiller)
+            execution = runner.run_round_tolerant(tasks, distiller, policy)
+            if runner.fallible:
+                self._pool_failures = 0
         except RoundExecutionError as exc:
             if not runner.fallible:
                 raise
             # The tasks still hold the pre-round session snapshots, so
             # the serial re-run restores them and continues bit-exactly.
-            results = self._fall_back_to_serial(exc).run_round(tasks, distiller)
+            fallback_cause = str(exc)
+            serial = self._handle_pool_failure(exc)
+            execution = serial.run_round_tolerant(tasks, distiller, policy)
 
+        failures = list(execution.failures)
         uploaded: list[np.ndarray] = []
         weights: list[float] = []
         losses: list[float] = []
         lambdas: list[float] = []
+        completed: list[int] = []
         exchange_dtype = nn.get_default_dtype()
-        for result in results:  # task (= ascending client-id) order
+        for result in execution.results:  # task (= ascending client-id) order
             if result.session is not None:
                 # The round ran in a worker: adopt its trained state so
                 # the live clients stay interchangeable with serial runs.
+                # This happens even when the upload is rejected below —
+                # the client trained fine, only its wire payload is bad.
                 self.clients[result.client_id].apply_round_result(
                     result.upload_flat, result.session, result.params_flat
                 )
             flat = result.upload_flat
+            rejection = self.server.validate_upload(
+                flat, self.config.max_upload_norm)
+            if rejection is not None:
+                failures.append(ClientFailure(result.client_id, "rejected", 1,
+                                              rejection))
+                continue
             if self.privatizer is not None:
                 flat = self.privatizer.privatize_update_flat(flat, global_flat)
                 flat = np.asarray(flat, dtype=exchange_dtype)
             uploaded.append(flat)
+            completed.append(result.client_id)
             weights.append(result.metrics["num_examples"])
             losses.append(result.metrics["loss"])
             lambdas.append(result.metrics["lambda"])
+        failures.sort(key=lambda failure: failure.client_id)
 
-        agg_weights = weights if self.config.aggregation == "fedavg" else None
-        self.server.aggregate_flat(uploaded, agg_weights)
-        ledger.record_round(round_index, global_flat, uploaded)
+        aggregated = len(uploaded) >= self.config.min_clients_per_round
+        if aggregated:
+            agg_weights = weights if self.config.aggregation == "fedavg" else None
+            # FedAvg weights renormalise over the survivors automatically
+            # (np.average divides by the surviving weight mass).
+            self.server.aggregate_flat(uploaded, agg_weights)
+            accuracy = model_segment_accuracy(
+                self.server.global_model, self.mask_builder, self.global_test
+            )
+            self._last_accuracy = accuracy
+            mean_loss = float(np.mean(losses))
+            mean_lambda = float(np.mean(lambdas))
+        else:
+            # Quorum failed: hold the global vector, skip aggregation,
+            # and record NaN-free sentinel statistics (np.mean over an
+            # empty survivor list would be NaN).
+            if self._last_accuracy is None:
+                self._last_accuracy = model_segment_accuracy(
+                    self.server.global_model, self.mask_builder,
+                    self.global_test)
+            accuracy = self._last_accuracy
+            mean_loss = 0.0
+            mean_lambda = 0.0
+        # Every selected client received the broadcast, even the ones
+        # that failed to upload.
+        ledger.record_round(round_index, global_flat, uploaded,
+                            num_broadcast=len(selected))
 
-        accuracy = model_segment_accuracy(
-            self.server.global_model, self.mask_builder, self.global_test
-        )
         return RoundRecord(
             round_index=round_index,
             selected_clients=tuple(selected),
-            mean_loss=float(np.mean(losses)),
-            mean_lambda=float(np.mean(lambdas)),
+            mean_loss=mean_loss,
+            mean_lambda=mean_lambda,
             global_accuracy=accuracy,
+            completed_clients=tuple(completed),
+            failures=tuple(failures),
+            retries=tuple(sorted(execution.retry_counts.items())),
+            aggregated=aggregated,
+            fallback_cause=fallback_cause,
         )
 
 
@@ -374,8 +610,9 @@ def train_isolated_then_average(model_factory: Callable[[], RecoveryModel],
     ledger.record_round(0, trainer.server.global_flat(), flats)
     accuracy = model_segment_accuracy(trainer.server.global_model, mask_builder,
                                       global_test)
-    history = [RoundRecord(0, tuple(range(len(trainer.clients))),
-                           float(np.mean(losses)), 0.0, accuracy)]
+    everyone = tuple(range(len(trainer.clients)))
+    history = [RoundRecord(0, everyone, float(np.mean(losses)), 0.0, accuracy,
+                           completed_clients=everyone)]
     return FederatedResult(
         global_model=trainer.server.global_model,
         history=history,

@@ -19,6 +19,19 @@ Setting ``REPRO_BACKEND=workspace`` (the CI backend leg) runs the whole
 suite through the workspace array backend
 (:func:`repro.nn.set_backend`), which is bitwise-identical to the
 reference backend — no test needs a skip marker for it.
+
+Fault-plan forcing
+------------------
+Setting ``REPRO_FAULT_PLAN`` (the CI fault-injection leg, e.g.
+``crash=0.08,dropout=0.08,straggler=0.05,corrupt=0.08,seed=1013``)
+injects that deterministic fault schedule into every
+:class:`~repro.federated.trainer.FederatedTrainer` that was not given
+an explicit plan, so the degraded paths — retries, per-client drops,
+upload rejection, partial aggregation — run under the whole federated
+suite.  Tests that assert every-client-uploads behaviour (exact ledger
+byte counts, full survivor sets) carry the ``fault_free`` marker and
+are skipped under forcing; everything else must pass with faults
+active.  See docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -45,7 +58,17 @@ if _FORCED_BACKEND:
     nn.set_backend(_FORCED_BACKEND)
 
 
+_FORCED_FAULT_PLAN = os.environ.get("REPRO_FAULT_PLAN")
+
+
 def pytest_collection_modifyitems(config, items):
+    if _FORCED_FAULT_PLAN:
+        skip_faulty = pytest.mark.skip(
+            reason=f"fault-free contract (REPRO_FAULT_PLAN forces "
+                   f"{_FORCED_FAULT_PLAN!r}; see docs/ROBUSTNESS.md)")
+        for item in items:
+            if "fault_free" in item.keywords:
+                item.add_marker(skip_faulty)
     if np.dtype(_FORCED_DTYPE or "float64") == np.dtype(np.float64):
         return
     skip = pytest.mark.skip(

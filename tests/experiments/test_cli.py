@@ -30,4 +30,11 @@ class TestCli:
 
     def test_experiment_list_covers_paper(self):
         assert set(EXPERIMENTS) == {"table4", "table5", "table6", "fig5",
-                                    "fig6", "fig7", "fig8", "fig9", "fig10"}
+                                    "fig6", "fig7", "fig8", "fig9", "fig10",
+                                    "faults"}
+
+    def test_faults_runs(self, capsys):
+        assert main(["faults", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault tolerance" in out
+        assert "dropout" in out

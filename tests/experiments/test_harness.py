@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,7 @@ from repro.experiments import (
     run_centralized_comparison,
     run_client_count_sweep,
     run_convergence,
+    run_fault_tolerance_sweep,
     run_fraction_sweep,
     run_overall_comparison,
     run_sensitivity,
@@ -51,6 +55,29 @@ class TestContext:
         assert len(run.history) == SCALES["tiny"].rounds
         row = run.as_row()
         assert set(row) >= {"method", "dataset", "recall", "mae", "comm_mb"}
+
+    def test_checkpoint_dirs_scoped_per_run(self, tmp_path):
+        """Different methods must checkpoint into different
+        subdirectories: their models disagree on parameter count, so a
+        shared directory would hand one method another's weights on
+        resume."""
+        scale = dataclasses.replace(
+            SCALES["tiny"], checkpoint_every=1, checkpoint_dir=str(tmp_path))
+        scoped = ExperimentContext(scale)
+        scoped.run_method("FC+FL", "geolife", 0.25)
+        scoped.run_method("RNN+FL", "geolife", 0.25)
+        subdirs = sorted(os.listdir(tmp_path))
+        assert len(subdirs) == 2
+        assert all(entry.startswith(("FC-FL", "RNN-FL")) for entry in subdirs)
+        # Resuming re-resolves the same tagged subdirectory and must
+        # reproduce the straight run exactly.
+        resume = dataclasses.replace(
+            SCALES["tiny"], resume_from=str(tmp_path))
+        resumed = ExperimentContext(resume)
+        straight = scoped.run_method("FC+FL", "geolife", 0.25)
+        again = resumed.run_method("FC+FL", "geolife", 0.25)
+        assert again.history == straight.history
+        assert again.metrics == straight.metrics
 
 
 class TestEntryPoints:
@@ -99,3 +126,14 @@ class TestEntryPoints:
         curves = run_convergence(context, dataset_name="geolife",
                                  keep_ratio=0.25, methods=("RNN+FL",), rounds=2)
         assert len(curves["RNN+FL"]) == 2
+
+    @pytest.mark.fault_free  # the 0% leg asserts zero failed client-rounds
+    def test_fault_tolerance_sweep_rows(self, context):
+        rows = run_fault_tolerance_sweep(context, dataset_name="geolife",
+                                         keep_ratio=0.25,
+                                         dropout_rates=(0.0, 0.5))
+        assert [row["dropout"] for row in rows] == [0.0, 0.5]
+        assert rows[0]["failed_client_rounds"] == 0
+        assert rows[1]["failed_client_rounds"] > 0
+        assert all(row["rounds"] == SCALES["tiny"].rounds for row in rows)
+        assert all(np.isfinite(row["accuracy"]) for row in rows)

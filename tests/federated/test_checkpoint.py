@@ -1,0 +1,185 @@
+"""Round checkpoint/resume: a killed-and-resumed run must reproduce the
+uninterrupted run bit for bit — history, ledger, global parameters, and
+live client state alike."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder, LTEModel, TrainingConfig
+from repro.federated import (
+    FederatedCheckpoint,
+    FederatedConfig,
+    FederatedTrainer,
+    build_federation,
+    checkpoint_path,
+    latest_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def federation(tiny_world):
+    return build_federation(tiny_world, num_clients=3, keep_ratio=0.25)
+
+
+@pytest.fixture(scope="module")
+def mask(tiny_world):
+    return ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+
+
+def lte_factory(config):
+    def factory():
+        return LTEModel(config, np.random.default_rng(33))
+    return factory
+
+
+def fed_config(rounds=4, use_meta=False, **kwargs):
+    return FederatedConfig(
+        rounds=rounds, client_fraction=1.0, local_epochs=1,
+        training=TrainingConfig(epochs=1, batch_size=8, lr=3e-3),
+        use_meta=use_meta, **kwargs,
+    )
+
+
+def make_trainer(federation, mask, tiny_config, config):
+    clients, global_test = federation
+    return FederatedTrainer(lte_factory(tiny_config), clients, mask, config,
+                            global_test, seed=0)
+
+
+class TestCheckpointFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        checkpoint = FederatedCheckpoint(
+            next_round=3, global_flat=np.arange(5.0),
+            client_sessions=(), client_params=(np.ones(5),),
+            trainer_rng_state=np.random.default_rng(1).bit_generator.state,
+            teacher_flat=None, last_accuracy=0.5,
+        )
+        path = checkpoint.save(checkpoint_path(str(tmp_path), 3))
+        loaded = FederatedCheckpoint.load(path)
+        assert loaded.next_round == 3
+        assert np.array_equal(loaded.global_flat, checkpoint.global_flat)
+        assert loaded.last_accuracy == 0.5
+
+    def test_latest_checkpoint_resolution(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+        for round_index in (2, 10, 4):
+            FederatedCheckpoint(
+                next_round=round_index, global_flat=np.zeros(1),
+                client_sessions=(), client_params=(),
+                trainer_rng_state={}, teacher_flat=None,
+            ).save(checkpoint_path(str(tmp_path), round_index))
+        latest = latest_checkpoint(str(tmp_path))
+        assert latest.endswith("round_0010.ckpt")
+        # A file path resolves to itself.
+        assert latest_checkpoint(latest) == latest
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        checkpoint = FederatedCheckpoint(
+            next_round=1, global_flat=np.zeros(1), client_sessions=(),
+            client_params=(), trainer_rng_state={}, teacher_flat=None,
+            version=999,
+        )
+        path = checkpoint.save(str(tmp_path / "bad.ckpt"))
+        with pytest.raises(ValueError, match="version"):
+            FederatedCheckpoint.load(path)
+
+    def test_config_requires_dir_with_checkpointing(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            fed_config(checkpoint_every=2)
+
+    def test_missing_resume_target_raises(self, federation, mask, tiny_config,
+                                          tmp_path):
+        trainer = make_trainer(federation, mask, tiny_config,
+                               fed_config(resume_from=str(tmp_path / "nope")))
+        with pytest.raises(FileNotFoundError):
+            trainer.run()
+
+
+class TestBitIdenticalResume:
+    def assert_resume_matches_uninterrupted(self, federation, mask,
+                                            tiny_config, tmp_path,
+                                            **config_kwargs):
+        """Run 4 rounds straight; then run 2 rounds + checkpoint, build
+        a *fresh* trainer (the killed process restarting), resume, and
+        compare everything bitwise."""
+        straight = make_trainer(federation, mask, tiny_config,
+                                fed_config(rounds=4, **config_kwargs))
+        expected = straight.run()
+        expected_flat = straight.server.global_flat(dtype=np.float64)
+
+        killed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=2, checkpoint_every=2,
+                       checkpoint_dir=str(tmp_path), **config_kwargs))
+        killed.run()
+        assert latest_checkpoint(str(tmp_path)).endswith("round_0002.ckpt")
+
+        resumed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=4, resume_from=str(tmp_path), **config_kwargs))
+        result = resumed.run()
+        resumed_flat = resumed.server.global_flat(dtype=np.float64)
+
+        assert result.history == expected.history
+        assert result.ledger.rounds == expected.ledger.rounds
+        assert np.array_equal(resumed_flat, expected_flat)
+        for resumed_client, straight_client in zip(resumed.clients,
+                                                   straight.clients):
+            assert np.array_equal(
+                resumed_client.flat_parameters(dtype=np.float64),
+                straight_client.flat_parameters(dtype=np.float64))
+
+    def test_resume_is_bit_identical(self, federation, mask, tiny_config,
+                                     tmp_path):
+        self.assert_resume_matches_uninterrupted(federation, mask, tiny_config,
+                                                 tmp_path)
+
+    def test_resume_is_bit_identical_with_meta_distillation(
+            self, federation, mask, tiny_config, tmp_path):
+        """The resumed distiller is rebuilt from the checkpointed
+        teacher snapshot, not re-pretrained — and must behave
+        identically to the uninterrupted run's live teacher."""
+        self.assert_resume_matches_uninterrupted(federation, mask, tiny_config,
+                                                 tmp_path, use_meta=True)
+
+    def test_resume_is_bit_identical_under_faults(self, federation, mask,
+                                                  tiny_config, tmp_path):
+        """Checkpoint/resume composes with fault injection: the fault
+        schedule is keyed by absolute round index, so resumed rounds
+        draw the same faults the uninterrupted run drew."""
+        self.assert_resume_matches_uninterrupted(
+            federation, mask, tiny_config, tmp_path,
+            fault_plan="crash=0.1,dropout=0.1,corrupt=0.1,seed=7",
+            task_retries=1)
+
+    def test_resume_rejects_mismatched_federation(self, federation, mask,
+                                                  tiny_config, tmp_path,
+                                                  tiny_world):
+        killed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=2, checkpoint_every=2,
+                       checkpoint_dir=str(tmp_path)))
+        killed.run()
+        other = build_federation(tiny_world, num_clients=2, keep_ratio=0.25)
+        clients, global_test = other
+        resumed = FederatedTrainer(
+            lte_factory(tiny_config), clients, mask,
+            fed_config(rounds=4, resume_from=str(tmp_path)),
+            global_test, seed=0)
+        with pytest.raises(ValueError, match="not the same federation"):
+            resumed.run()
+
+    def test_meta_checkpoint_required_for_meta_resume(self, federation, mask,
+                                                      tiny_config, tmp_path):
+        killed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=2, checkpoint_every=2,
+                       checkpoint_dir=str(tmp_path)))  # use_meta=False
+        killed.run()
+        resumed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=4, use_meta=True, resume_from=str(tmp_path)))
+        with pytest.raises(ValueError, match="no teacher"):
+            resumed.run()

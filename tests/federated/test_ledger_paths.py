@@ -61,6 +61,7 @@ class TestLedgerUnification:
         assert cost.bytes_up == payload * len(clients)
         assert cost.bytes_down == payload * len(clients)
 
+    @pytest.mark.fault_free  # per-upload byte math assumes every client uploads
     def test_both_paths_meter_identical_payload_sizes(self, federation, mask,
                                                       tiny_config):
         clients, global_test = federation

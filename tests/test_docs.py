@@ -18,6 +18,7 @@ CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs.py")
 def test_docs_exist():
     assert os.path.exists(os.path.join(REPO_ROOT, "README.md"))
     assert os.path.exists(os.path.join(REPO_ROOT, "docs", "PERFORMANCE.md"))
+    assert os.path.exists(os.path.join(REPO_ROOT, "docs", "ROBUSTNESS.md"))
 
 
 def test_docs_check_passes():
@@ -48,3 +49,15 @@ def test_performance_doc_covers_every_knob():
                  "set_default_dtype", "clear_batch_cache", "build_for",
                  "warm"):
         assert knob in perf, f"PERFORMANCE.md does not document {knob!r}"
+
+
+def test_robustness_doc_covers_every_knob():
+    """Each fault-tolerance knob must be documented by its real name."""
+    with open(os.path.join(REPO_ROOT, "docs", "ROBUSTNESS.md")) as handle:
+        doc = handle.read()
+    for knob in ("fault_plan", "task_retries", "task_deadline", "task_backoff",
+                 "min_clients_per_round", "max_upload_norm", "checkpoint_every",
+                 "checkpoint_dir", "resume_from", "validate_upload",
+                 "REPRO_FAULT_PLAN", "fault_free", "FaultPlan",
+                 "FederatedCheckpoint", "latest_checkpoint"):
+        assert knob in doc, f"ROBUSTNESS.md does not document {knob!r}"

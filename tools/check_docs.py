@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Docs-check: keep README/PERFORMANCE commands from rotting.
+"""Docs-check: keep README/PERFORMANCE/ROBUSTNESS commands from rotting.
 
 Statically verifies every checkable claim in the documentation:
 
@@ -35,7 +35,8 @@ import shlex
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DOC_FILES = ("README.md", os.path.join("docs", "PERFORMANCE.md"))
+DOC_FILES = ("README.md", os.path.join("docs", "PERFORMANCE.md"),
+             os.path.join("docs", "ROBUSTNESS.md"))
 
 _FENCE = re.compile(r"^```(\w*)\s*$")
 _INLINE_CODE = re.compile(r"`([^`\n]+)`")
