@@ -18,7 +18,7 @@ from repro.baselines import make_model_factory
 from repro.core.training import LocalTrainer
 from repro.metrics import profile_model
 
-from conftest import publish
+from conftest import publish, scale_name
 
 METHODS = ("RNN+FL", "MTrajRec+FL", "RNTrajRec+FL", "LightTR")
 
@@ -61,7 +61,9 @@ def test_fig5_efficiency(benchmark, context):
     assert by_name["LightTR"].payload_bytes < by_name["RNTrajRec+FL"].payload_bytes
     # The measured epoch time beats the heaviest baseline once models are
     # big enough for compute (not Python overhead) to dominate.
-    from conftest import scale_name
+    # Imported at module scope: a function-body `from conftest import`
+    # resolves against whichever conftest.py pytest loaded *last* in a
+    # whole-repo run, not this directory's.
     if scale_name() != "tiny":
         assert (by_name["LightTR"].epoch_seconds
                 < by_name["RNTrajRec+FL"].epoch_seconds * 1.1)

@@ -1,0 +1,164 @@
+"""Serving latency benchmark: the continuous batcher under load.
+
+Measures the production-shaped question the scheduler exists to
+answer — per-request latency under a seeded Poisson arrival process
+against :class:`repro.serving.DecodeService`, and how throughput
+scales with the working-set budget.  Two measurements, written to
+``results/serving_latency.*.txt`` and merged into
+``BENCH_hotpath.json`` under ``serving_latency``:
+
+* **Poisson workload percentiles** — requests arrive with seeded
+  exponential inter-arrival gaps; each request's latency runs from its
+  scheduled arrival to result availability (queueing included).
+  Reported: p50/p95/p99 and achieved throughput.
+* **throughput vs decode batch** — one burst of requests drained
+  through :class:`~repro.serving.ContinuousBatcher` at working-set
+  budgets 1/2/4/8; wall-clock throughput per budget (the
+  latency/throughput knob's shape).
+
+Wall-clock numbers are hardware-dependent context for the JSON; the
+tested invariants are structural (every request completes, the
+percentile ordering is sane, larger budgets never lose throughput
+catastrophically).  Marked ``slow``: tier-1 skips it; run with
+
+    pytest -m slow benchmarks/test_serving_latency.py -s
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder, RecoveryModelConfig
+from repro.core.lte import LTEModel
+from repro.data import TrajectoryDataset, geolife_like
+from repro.data.trajectory import MatchedTrajectory
+from repro.serving import ContinuousBatcher, DecodeService
+
+from conftest import publish, scale_name, update_bench
+
+pytestmark = pytest.mark.slow
+
+#: Workload sizes per REPRO_SCALE.
+WORKLOAD = {"tiny": 24, "small": 48, "paper": 160}
+ARRIVAL_RATE_HZ = 100.0  # mean Poisson arrival rate
+BUDGETS = (1, 2, 4, 8)
+SEED = 2024
+
+
+def _serving_world():
+    world = geolife_like(num_drivers=6, trajectories_per_driver=6,
+                         points_per_trajectory=25, seed=11)
+    lengths = (7, 25, 13, 19, 9, 16, 11, 22)
+    trimmed = [MatchedTrajectory(t.traj_id, t.driver_id, t.epsilon,
+                                 t.points[:lengths[i % len(lengths)]])
+               for i, t in enumerate(world.matched)]
+    dataset = TrajectoryDataset.from_matched(trimmed, world.grid,
+                                             world.network, keep_ratio=0.25)
+    config = RecoveryModelConfig(
+        num_cells=dataset.num_cells, num_segments=dataset.num_segments,
+        cell_emb_dim=16, seg_emb_dim=16, hidden_size=32,
+        num_st_blocks=2, dropout=0.0, bbox=world.network.bounding_box(),
+    )
+    model = LTEModel(config, np.random.default_rng(0))
+    model.eval()
+    mask = ConstraintMaskBuilder(world.network, radius=400.0)
+    return dataset, model, mask
+
+
+def _requests(dataset, model, mask, count, rng):
+    """``count`` single-trajectory request batches (random trajectories)."""
+    picks = rng.integers(0, len(dataset.examples), size=count)
+    requests = []
+    for idx in picks:
+        single = TrajectoryDataset([dataset.examples[int(idx)]], dataset.grid,
+                                   dataset.network, dataset.keep_ratio)
+        batch = single.full_batch()
+        requests.append((batch, mask.build_for(batch, model)))
+    return requests
+
+
+def _run_poisson(service, requests, arrivals):
+    """Drive the service on a wall-clock arrival schedule.
+
+    Returns per-request latencies (seconds from scheduled arrival to
+    result availability — queueing and decoding included)."""
+    latencies = [None] * len(requests)
+    threads = []
+    start = time.monotonic()
+
+    def waiter(i, handle):
+        service.result(handle, timeout=300)
+        latencies[i] = time.monotonic() - (start + arrivals[i])
+
+    for i, (batch, log_mask) in enumerate(requests):
+        gap = arrivals[i] - (time.monotonic() - start)
+        if gap > 0:
+            time.sleep(gap)
+        handle = service.submit(batch, log_mask)
+        thread = threading.Thread(target=waiter, args=(i, handle))
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=300)
+    assert all(lat is not None for lat in latencies)
+    return np.array(latencies)
+
+
+def test_serving_latency_under_poisson_arrivals():
+    dataset, model, mask = _serving_world()
+    rng = np.random.default_rng(SEED)
+    count = WORKLOAD[scale_name()]
+    requests = _requests(dataset, model, mask, count, rng)
+    arrivals = np.cumsum(rng.exponential(1.0 / ARRIVAL_RATE_HZ, size=count))
+
+    with DecodeService(model, max_batch=8, max_queue=2 * count) as service:
+        wall_start = time.monotonic()
+        latencies = _run_poisson(service, requests, arrivals)
+        wall = time.monotonic() - wall_start
+        stats = service.stats
+    assert stats["completed"] == count
+    assert stats["rejected"] == 0
+
+    p50, p95, p99 = (float(np.percentile(latencies, q) * 1e3)
+                     for q in (50, 95, 99))
+    assert p50 <= p95 <= p99
+    throughput = count / wall
+
+    # -- throughput vs the working-set budget (one synchronous burst) --
+    curve = {}
+    for budget in BUDGETS:
+        burst = _requests(dataset, model, mask, count, np.random.default_rng(SEED))
+        batcher = ContinuousBatcher(model, max_batch=budget)
+        tick = time.monotonic()
+        for batch, log_mask in burst:
+            batcher.submit(batch, log_mask)
+        outcomes = batcher.drain()
+        curve[str(budget)] = count / (time.monotonic() - tick)
+        assert len(outcomes) == count
+        assert not any(isinstance(o, Exception) for _, o in outcomes)
+
+    rows = [
+        f"serving latency ({scale_name()}): {count} requests, "
+        f"Poisson {ARRIVAL_RATE_HZ:.0f} Hz, max_batch=8",
+        f"  p50 {p50:8.2f} ms   p95 {p95:8.2f} ms   p99 {p99:8.2f} ms",
+        f"  throughput {throughput:8.1f} req/s (wall {wall:.2f} s)",
+        "throughput vs decode batch (burst drain):",
+    ]
+    rows += [f"  max_batch={b:<2d} {curve[str(b)]:8.1f} req/s"
+             for b in BUDGETS]
+    publish("serving_latency", "\n".join(rows))
+    update_bench({"serving_latency": {
+        "scale": scale_name(),
+        "requests": count,
+        "arrival_rate_hz": ARRIVAL_RATE_HZ,
+        "max_batch": 8,
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "p99_ms": p99,
+        "throughput_rps": throughput,
+        "throughput_vs_decode_batch": curve,
+    }})

@@ -167,6 +167,47 @@ class SparseConstraintMask:
         return SparseConstraintMask((rows.size, s), indptr, self.indices[pos],
                                     self.log_values[pos], floor=self.floor)
 
+    @staticmethod
+    def concat_rows(parts: list) -> "SparseConstraintMask":
+        """Row-concatenate 2-D step masks (the live-admission join).
+
+        Used by the continuous-batching mux to stack per-request
+        ``(A_i, S)`` decode-step masks into one ``(sum A_i, S)``
+        working-set mask; per-row CSR slices are preserved exactly, so
+        the joined mask is row-for-row bit-identical to its parts.
+        Planned step masks (:class:`_PlannedStepMask`) flatten back to a
+        plain mask — consumers recompute the row expansion, which
+        changes no bits.  All parts must agree on kind: identity masks
+        only join identity masks, and the ``floor`` must be uniform
+        (mux keys enforce both before admission).
+        """
+        if len(parts) == 1:
+            return parts[0]
+        s = int(parts[0].shape[-1])
+        total = 0
+        for part in parts:
+            if len(part.shape) != 2 or int(part.shape[-1]) != s:
+                raise ValueError(
+                    f"concat_rows needs (A, {s}) step masks, got {part.shape}")
+            total += int(part.shape[0])
+        if all(part.identity for part in parts):
+            return SparseConstraintMask.identity_mask((total, s))
+        if any(part.identity for part in parts):
+            raise ValueError(
+                "cannot concatenate identity and non-identity step masks")
+        floor = parts[0].floor
+        if any(part.floor != floor for part in parts):
+            raise ValueError(
+                "cannot concatenate step masks with different floors")
+        lens = ops.concatenate([ops.diff(part.indptr) for part in parts])
+        indptr = np.zeros(total + 1, dtype=np.int64)
+        ops.cumsum(lens, out=indptr[1:])
+        return SparseConstraintMask(
+            (total, s), indptr,
+            ops.concatenate([part.indices for part in parts]),
+            ops.concatenate([part.log_values for part in parts]),
+            floor=floor)
+
     def to_dense(self) -> np.ndarray:
         """The equivalent dense log-mask array (tests / reference path).
 

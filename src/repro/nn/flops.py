@@ -139,7 +139,8 @@ def estimate_decode_step_flops(model: Module, seq_len: int = 1) -> float:
     return total
 
 
-def estimate_decode_flops(model: Module, seq_len: int, batch: int = 1) -> float:
+def estimate_decode_flops(model: Module, seq_len: int, batch: int = 1, *,
+                          decode_len: int | None = None) -> float:
     """Estimate autoregressive-recovery FLOPs for ``batch`` sequences.
 
     The inference-side companion of :func:`estimate_flops`: one
@@ -150,10 +151,18 @@ def estimate_decode_flops(model: Module, seq_len: int, batch: int = 1) -> float:
     the ``seq_len`` observed points, matching :func:`estimate_flops`'s
     treatment).  This is what one serving request costs; the packed
     decode engine (:mod:`repro.serving`) reduces the *step* term to
-    each trajectory's true length.
+    each trajectory's true length — pass that length as ``decode_len``
+    (default: ``seq_len``, the padded full-length decode) to price a
+    packed or continuously-batched request: the encoder term still
+    scales with the padded ``seq_len`` (attention reads scan all
+    encoder states), only the emitted-point count shrinks.
     """
     if seq_len <= 0 or batch <= 0:
         raise ValueError("seq_len and batch must be positive")
+    if decode_len is None:
+        decode_len = seq_len
+    if decode_len < 0:
+        raise ValueError("decode_len must be >= 0")
     encoder = 0.0
     for module in _walk(model):
         if isinstance(module, (GRU, RNN, LSTM)):
@@ -168,7 +177,7 @@ def estimate_decode_flops(model: Module, seq_len: int, batch: int = 1) -> float:
                 encoder += _linear_flops(module) * seq_len
             elif isinstance(module, Embedding):
                 encoder += module.embedding_dim * seq_len
-    steps = estimate_decode_step_flops(model, seq_len=seq_len) * seq_len
+    steps = estimate_decode_step_flops(model, seq_len=seq_len) * decode_len
     return (encoder + steps) * batch
 
 

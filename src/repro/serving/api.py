@@ -21,7 +21,7 @@ import numpy as np
 from .. import nn
 from .engine import DecodeSession, EmissionPolicy
 
-__all__ = ["decode_model", "batch_lengths"]
+__all__ = ["decode_model", "batch_lengths", "fastapi_available", "create_app"]
 
 
 def batch_lengths(batch) -> np.ndarray:
@@ -70,3 +70,84 @@ def decode_model(model, batch, log_mask, *, decode_batch: int | None = None,
     return ModelOutput(log_probs=nn.Tensor(result.log_probs),
                        ratios=nn.Tensor(result.ratios),
                        segments=result.segments)
+
+
+def fastapi_available() -> bool:
+    """True when :mod:`fastapi` is importable.
+
+    The HTTP front-end is gated exactly like the numba array backend
+    (see :func:`repro.nn.backend._init_numba_backend`): FastAPI is an
+    optional accelerator of the same tier, never a hard dependency —
+    tier-1 runs hermetically with it absent, and the in-process
+    :class:`~repro.serving.DecodeService` carries the full contract.
+    """
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def create_app(service, prepare):
+    """Build the optional FastAPI app over a :class:`DecodeService`.
+
+    Parameters
+    ----------
+    service:
+        A running :class:`~repro.serving.DecodeService`.
+    prepare:
+        ``prepare(payload) -> (batch, log_mask)`` — maps one POSTed
+        JSON payload to a model batch and its constraint mask.  Batch
+        construction is deployment-specific (road network, grid, and
+        mask builder live server-side), so the app takes it as a
+        callable instead of guessing a wire format.
+
+    Routes: ``GET /healthz`` (liveness + :attr:`DecodeService.stats`)
+    and ``POST /decode`` (body forwarded to ``prepare``; optional
+    ``timeout`` key becomes the request's admission deadline).  Queue
+    backpressure maps to HTTP 503, a missed deadline to 504.
+
+    Raises :class:`RuntimeError` when FastAPI is not installed —
+    callers gate on :func:`fastapi_available`.
+    """
+    if not fastapi_available():
+        raise RuntimeError(
+            "fastapi is not installed; the HTTP front-end is optional — "
+            "use repro.serving.DecodeService in-process instead")
+    from fastapi import FastAPI, HTTPException
+
+    # Deferred: api is imported by the scheduler, so the service/
+    # scheduler modules can only be imported lazily from here.
+    from .scheduler import DeadlineExceededError
+    from .service import QueueFullError, ServiceClosedError
+
+    app = FastAPI(title="trajectory-recovery", docs_url=None, redoc_url=None)
+
+    @app.get("/healthz")
+    def healthz() -> dict:
+        return {"status": "ok", **service.stats}
+
+    @app.post("/decode")
+    def decode(payload: dict) -> dict:
+        batch, log_mask = prepare(payload)
+        timeout = payload.get("timeout")
+        try:
+            handle = service.submit(batch, log_mask, timeout=timeout)
+        except QueueFullError as error:
+            raise HTTPException(status_code=503, detail=str(error))
+        except ServiceClosedError as error:
+            raise HTTPException(status_code=503, detail=str(error))
+        try:
+            result = service.result(handle)
+        except DeadlineExceededError as error:
+            raise HTTPException(status_code=504, detail=str(error))
+        return {
+            "handle": result.handle,
+            "segments": result.segments.tolist(),
+            "ratios": result.ratios.tolist(),
+            "steps": result.steps,
+            "work_rows": result.work_rows,
+            "decode_flops": result.decode_flops,
+        }
+
+    return app

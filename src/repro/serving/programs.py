@@ -23,6 +23,32 @@ Every step mirrors the corresponding tape path operation by operation
 per-row bit patterns of the padded loops; all state is kept as raw
 arrays and ``select_rows`` is a pure gather, which is what makes
 active-row compaction cheap.
+
+Mux protocol (live admission)
+-----------------------------
+On top of the stepping protocol every program implements the *mux*
+extension :class:`~repro.serving.LiveDecodeSet` drives, which factors
+``advance`` into a per-row-constants gather and a pure batched step so
+rows from **different** programs (different requests, different padded
+widths) can share one kernel pass:
+
+``mux_key()``
+    Hashable compatibility key.  Two programs may be joined iff their
+    keys are equal: same program family, same owning model modules (by
+    identity — one frozen model per live set), same per-row state
+    geometry (e.g. the attention programs' encoder width ``To``), and
+    the same mask representation.
+``step_constants(rows, t)``
+    The per-row constants ``advance`` would slice at ``(rows, t)`` —
+    each entry gathers these at its *own* clock ``t``.
+``join_constants(parts)`` / ``join_states(states)``
+    Row-concatenate constants / states from mux-compatible programs.
+``advance_on(state, constants, prev_segments, prev_ratios)``
+    The batched step on pre-gathered constants; ``advance`` is
+    literally ``advance_on(state, step_constants(rows, t), ...)``, so
+    the joined step runs the exact expressions of every solo step and
+    concat/split is bitwise-neutral (all step math is batched GEMM +
+    row-local elementwise).
 """
 
 from __future__ import annotations
@@ -52,6 +78,31 @@ def _mask_step(log_mask, t: int, rows: np.ndarray):
         return log_mask.step(t, rows)
     return call_kernel("sparse_mask_step", _sparse_mask_step_ref,
                        log_mask, t, rows)
+
+
+def _mask_kind(log_mask) -> tuple:
+    """Mux-compatibility tag of a mask representation.
+
+    Dense arrays, CSR sparse masks, and identity (disabled) masks step
+    to different types, so only like-kinded masks can be joined.
+    """
+    if isinstance(log_mask, np.ndarray):
+        return ("dense", log_mask.dtype.str)
+    if log_mask.identity:
+        return ("identity", log_mask.shape[-1])
+    return ("sparse", float(log_mask.floor), log_mask.log_values.dtype.str,
+            log_mask.shape[-1])
+
+
+def _join_mask_parts(parts: list):
+    """Row-concatenate per-entry mask steps (dense or duck-typed sparse)."""
+    if len(parts) == 1:
+        return parts[0]
+    if isinstance(parts[0], np.ndarray):
+        return ops.concatenate(parts)
+    # Sparse step masks join through their own class (duck-typed so this
+    # module never imports repro.core, which imports serving at load).
+    return type(parts[0]).concat_rows(parts)
 
 
 def _dense_log_softmax(masked: np.ndarray) -> np.ndarray:
@@ -97,14 +148,35 @@ class STDecodeProgram:
     def select_rows(self, state: _State, keep: np.ndarray) -> _State:
         return _State([h[keep] for h in state.arrays])
 
+    def mux_key(self) -> tuple:
+        return ("st", id(self.operator), int(self._extras.shape[-1]),
+                _mask_kind(self._mask))
+
+    def step_constants(self, rows: np.ndarray, t: int) -> tuple:
+        return (self._extras[rows, t], _mask_step(self._mask, t, rows))
+
+    def join_constants(self, parts: list) -> tuple:
+        return (ops.concatenate([p[0] for p in parts]),
+                _join_mask_parts([p[1] for p in parts]))
+
+    def join_states(self, states: list) -> _State:
+        return _State([ops.concatenate(arrays)
+                       for arrays in zip(*(s.arrays for s in states))])
+
+    def advance_on(self, state: _State, constants: tuple,
+                   prev_segments: np.ndarray, prev_ratios: np.ndarray
+                   ) -> tuple[_State, np.ndarray]:
+        extras, mask_t = constants
+        states, h_d, log_probs = self.operator.step_advance(
+            state.arrays, prev_segments, prev_ratios, extras, mask_t,
+        )
+        return _State(states, h_d), log_probs
+
     def advance(self, state: _State, rows: np.ndarray, t: int,
                 prev_segments: np.ndarray, prev_ratios: np.ndarray
                 ) -> tuple[_State, np.ndarray]:
-        states, h_d, log_probs = self.operator.step_advance(
-            state.arrays, prev_segments, prev_ratios, self._extras[rows, t],
-            _mask_step(self._mask, t, rows),
-        )
-        return _State(states, h_d), log_probs
+        return self.advance_on(state, self.step_constants(rows, t),
+                               prev_segments, prev_ratios)
 
     def emit(self, state: _State, segments: np.ndarray) -> np.ndarray:
         return self.operator.step_emit(state.cache, segments)
@@ -137,22 +209,44 @@ class StackedRNNDecodeProgram:
     def select_rows(self, state: _State, keep: np.ndarray) -> _State:
         return _State([h[keep] for h in state.arrays])
 
-    def advance(self, state: _State, rows: np.ndarray, t: int,
-                prev_segments: np.ndarray, prev_ratios: np.ndarray
-                ) -> tuple[_State, np.ndarray]:
+    def mux_key(self) -> tuple:
+        return ("rnn", id(self._seg_head), len(self._cells),
+                int(self._extras.shape[-1]), _mask_kind(self._mask))
+
+    def step_constants(self, rows: np.ndarray, t: int) -> tuple:
+        return (self._extras[rows, t], _mask_step(self._mask, t, rows))
+
+    def join_constants(self, parts: list) -> tuple:
+        return (ops.concatenate([p[0] for p in parts]),
+                _join_mask_parts([p[1] for p in parts]))
+
+    def join_states(self, states: list) -> _State:
+        return _State([ops.concatenate(arrays)
+                       for arrays in zip(*(s.arrays for s in states))])
+
+    def advance_on(self, state: _State, constants: tuple,
+                   prev_segments: np.ndarray, prev_ratios: np.ndarray
+                   ) -> tuple[_State, np.ndarray]:
+        extras, mask_t = constants
         z = ops.concatenate(
-            [self._seg_table[prev_segments], prev_ratios[:, None],
-             self._extras[rows, t]], axis=-1,
+            [self._seg_table[prev_segments], prev_ratios[:, None], extras],
+            axis=-1,
         )
         states: list[np.ndarray] = []
         for cell, h in zip(self._cells, state.arrays):
             z = cell.step_array(z, h)
             states.append(z)
         logits = z @ self._seg_head.weight.data
-        log_probs = _dense_log_softmax(logits + _mask_step(self._mask, t, rows))
+        log_probs = _dense_log_softmax(logits + mask_t)
         ratios = _relu(row_dot(z, self._ratio_head.weight.data)
                        + self._ratio_head.bias.data)
         return _State(states, ratios), log_probs
+
+    def advance(self, state: _State, rows: np.ndarray, t: int,
+                prev_segments: np.ndarray, prev_ratios: np.ndarray
+                ) -> tuple[_State, np.ndarray]:
+        return self.advance_on(state, self.step_constants(rows, t),
+                               prev_segments, prev_ratios)
 
     def emit(self, state: _State, segments: np.ndarray) -> np.ndarray:
         return state.cache
@@ -195,20 +289,47 @@ class AttnDecodeProgram:
     def select_rows(self, state: _State, keep: np.ndarray) -> _State:
         return _State([a[keep] for a in state.arrays])
 
-    def advance(self, state: _State, rows: np.ndarray, t: int,
-                prev_segments: np.ndarray, prev_ratios: np.ndarray
-                ) -> tuple[_State, np.ndarray]:
+    def mux_key(self) -> tuple:
+        # ``To`` (the padded encoder width) is part of the key: the
+        # per-row attention reductions run over a row's full key axis,
+        # and zero-extending that axis is *not* bitwise-stable, so only
+        # equal-width encoder states may share a working set.
+        return ("attn", id(self._cell), int(self._keys.shape[1]),
+                int(self._keys.shape[2]), int(self._extras.shape[-1]),
+                _mask_kind(self._mask))
+
+    def step_constants(self, rows: np.ndarray, t: int) -> tuple:
+        return (self._extras[rows, t], _mask_step(self._mask, t, rows))
+
+    def join_constants(self, parts: list) -> tuple:
+        return (ops.concatenate([p[0] for p in parts]),
+                _join_mask_parts([p[1] for p in parts]))
+
+    def join_states(self, states: list) -> _State:
+        return _State([ops.concatenate(arrays)
+                       for arrays in zip(*(s.arrays for s in states))])
+
+    def advance_on(self, state: _State, constants: tuple,
+                   prev_segments: np.ndarray, prev_ratios: np.ndarray
+                   ) -> tuple[_State, np.ndarray]:
+        extras, mask_t = constants
         h, keys, keys_proj, obs_mask = state.arrays
         context = self._attention.step_array(h, keys, keys_proj, obs_mask)
         z = ops.concatenate(
             [self._seg_table[prev_segments], prev_ratios[:, None],
-             self._extras[rows, t], context], axis=-1,
+             extras, context], axis=-1,
         )
         h = self._cell.step_array(z, h)
         h_d = h @ self._dense_d.weight.data + self._dense_d.bias.data
         logits = h_d @ self._seg_head.weight.data
-        log_probs = _dense_log_softmax(logits + _mask_step(self._mask, t, rows))
+        log_probs = _dense_log_softmax(logits + mask_t)
         return _State([h, keys, keys_proj, obs_mask], h_d), log_probs
+
+    def advance(self, state: _State, rows: np.ndarray, t: int,
+                prev_segments: np.ndarray, prev_ratios: np.ndarray
+                ) -> tuple[_State, np.ndarray]:
+        return self.advance_on(state, self.step_constants(rows, t),
+                               prev_segments, prev_ratios)
 
     def emit(self, state: _State, segments: np.ndarray) -> np.ndarray:
         seg_emb = self._seg_table[segments]

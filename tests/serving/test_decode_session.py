@@ -2,12 +2,13 @@
 
 The serving contract (see ``repro/serving/engine.py``): packed decode
 is bit-identical to the padded full-length decode on every valid
-timestep, argmax segments are bit-identical under *any* packing
-(chunked, per-trajectory), and values agree with the per-trajectory
-decode to 1e-10 (a single-row batch takes a different BLAS kernel).
-Covered matrix: uneven lengths, empty-radius fallback mask rows,
-sparse/dense masks, fused kernels on/off, float32 exchange mode, all
-autoregressive models, and the decode_batch chunking knob.
+timestep under *any* packing — including single-row working sets,
+which since the self-ballast upgrade run the same GEMM kernels as
+packed ones (the older 1e-10/argmax assertions below remain as the
+weaker historical contract; equality satisfies them).  Covered matrix:
+uneven lengths, empty-radius fallback mask rows, sparse/dense masks,
+fused kernels on/off, float32 exchange mode, all autoregressive
+models, and the decode_batch chunking knob.
 """
 
 from __future__ import annotations
@@ -305,10 +306,29 @@ class TestDecodeBatchChunking:
         np.testing.assert_array_equal(whole.ratios.data[valid],
                                       folded.ratios.data[valid])
 
+    def test_single_row_chunks_are_bitwise(self, lte, ragged_dataset,
+                                           tiny_mask):
+        """Contract upgrade: decode_batch=1 working sets carry a
+        duplicated-row self-ballast, so each trajectory runs the same
+        GEMM kernels as inside the packed set — bit-identical, not
+        merely 1e-10-close (what lets the continuous batcher prove
+        solo-vs-batched equality)."""
+        batch = ragged_dataset.full_batch()
+        log_mask = tiny_mask.build_for(batch, lte)
+        whole = _decode(lte, batch, log_mask, packed=True)
+        single = _decode(lte, batch, log_mask, packed=True, decode_batch=1)
+        valid = batch.tgt_mask
+        np.testing.assert_array_equal(whole.segments[valid],
+                                      single.segments[valid])
+        np.testing.assert_array_equal(whole.log_probs.data[valid],
+                                      single.log_probs.data[valid])
+        np.testing.assert_array_equal(whole.ratios.data[valid],
+                                      single.ratios.data[valid])
+
     def test_single_row_chunks_hold_argmax_contract(self, lte, ragged_dataset,
                                                     tiny_mask):
-        """decode_batch=1 runs each trajectory through single-row BLAS
-        kernels, so only the argmax (and 1e-10 values) is promised."""
+        """The weaker historical decode_batch=1 contract (argmax +
+        1e-10 values), kept as a regression canary."""
         batch = ragged_dataset.full_batch()
         log_mask = tiny_mask.build_for(batch, lte)
         whole = _decode(lte, batch, log_mask, packed=True)

@@ -51,6 +51,7 @@ KERNEL_MODULES = (
     "src/repro/core/st_block.py",
     "src/repro/serving/engine.py",
     "src/repro/serving/programs.py",
+    "src/repro/serving/scheduler.py",
 )
 
 #: ``np.<name>`` accesses that stay direct: array construction and

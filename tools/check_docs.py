@@ -36,7 +36,8 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOC_FILES = ("README.md", os.path.join("docs", "PERFORMANCE.md"),
-             os.path.join("docs", "ROBUSTNESS.md"))
+             os.path.join("docs", "ROBUSTNESS.md"),
+             os.path.join("docs", "SERVING.md"))
 
 _FENCE = re.compile(r"^```(\w*)\s*$")
 _INLINE_CODE = re.compile(r"`([^`\n]+)`")
