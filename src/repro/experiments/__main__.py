@@ -130,6 +130,33 @@ def main(argv: list[str] | None = None) -> int:
                              "buffer-reusing hot kernels, bitwise-identical "
                              "results; numba when that package is "
                              "installed; see REPRO_BACKEND)")
+    parser.add_argument("--exchange-codec", default=None, metavar="NAME",
+                        help="wire codec for parameter exchange (identity: "
+                             "raw float64, the default; float32: half-width "
+                             "casts; int8: per-chunk absmax quantization "
+                             "with error feedback; int8-nofb: int8 without "
+                             "error feedback; see REPRO_EXCHANGE_CODEC)")
+    parser.add_argument("--async-buffer", type=int, default=None, metavar="K",
+                        help="enable asynchronous FedBuff-style aggregation: "
+                             "flush the global model every K buffered "
+                             "uploads instead of waiting for the whole "
+                             "cohort (default: 0 = synchronous rounds)")
+    parser.add_argument("--staleness-alpha", type=float, default=None,
+                        metavar="ALPHA",
+                        help="staleness discount exponent for async "
+                             "aggregation: an upload trained s versions ago "
+                             "is down-weighted by 1/(1+s)^ALPHA (0 disables "
+                             "the discount; default: 0.5)")
+    parser.add_argument("--clients-per-round", type=float, default=None,
+                        metavar="FRACTION",
+                        help="adaptive sampling fraction of idle clients "
+                             "dispatched per async wave, in (0, 1] "
+                             "(default: dispatch every idle client)")
+    parser.add_argument("--latency", default=None, metavar="SPEC",
+                        help="deterministic simulated client latency for "
+                             "async waves, e.g. "
+                             "'base=1,jitter=2,heavy=0.1,seed=7' (see "
+                             "docs/ROBUSTNESS.md)")
     parser.add_argument("--fault-plan", default=None, metavar="SPEC",
                         help="inject deterministic client faults, e.g. "
                              "'dropout=0.3,crash=0.1,seed=42' (see "
@@ -168,6 +195,17 @@ def main(argv: list[str] | None = None) -> int:
         scale = dataclasses.replace(scale, compute_dtype=args.compute_dtype)
     if args.backend is not None:
         scale = dataclasses.replace(scale, backend=args.backend)
+    if args.exchange_codec is not None:
+        scale = dataclasses.replace(scale, exchange_codec=args.exchange_codec)
+    if args.async_buffer is not None:
+        scale = dataclasses.replace(scale, async_buffer=args.async_buffer)
+    if args.staleness_alpha is not None:
+        scale = dataclasses.replace(scale, staleness_alpha=args.staleness_alpha)
+    if args.clients_per_round is not None:
+        scale = dataclasses.replace(scale,
+                                    clients_per_round=args.clients_per_round)
+    if args.latency is not None:
+        scale = dataclasses.replace(scale, latency=args.latency)
     if args.fault_plan is not None:
         scale = dataclasses.replace(scale, fault_plan=args.fault_plan)
     if args.task_retries is not None:

@@ -74,6 +74,12 @@ class ExperimentScale:
     checkpoint_every: int = 0  # persist run state every K rounds (0 = never)
     checkpoint_dir: str = ""
     resume_from: str = ""  # checkpoint file or directory ("" = fresh run)
+    # --- communication / async knobs (docs/PERFORMANCE.md, ROBUSTNESS.md) ---
+    exchange_codec: str = ""  # "identity"/"float32"/"int8"/"int8-nofb" ("" = default)
+    async_buffer: int = 0  # FedBuff buffer size K (0 = synchronous rounds)
+    staleness_alpha: float = 0.5  # async staleness discount exponent
+    clients_per_round: float = 0.0  # async sampling fraction (0 = client_fraction)
+    latency: str = ""  # e.g. "base=1,jitter=2,heavy=0.1,seed=7" ("" = default)
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -208,6 +214,11 @@ class ExperimentContext:
             checkpoint_dir=self._scoped_checkpoint_dir(
                 scale.checkpoint_dir, run_tag),
             resume_from=self._scoped_resume_from(scale.resume_from, run_tag),
+            exchange_codec=scale.exchange_codec or None,
+            async_buffer=scale.async_buffer,
+            staleness_alpha=scale.staleness_alpha,
+            clients_per_round=scale.clients_per_round or None,
+            latency=scale.latency or None,
         )
 
     @staticmethod

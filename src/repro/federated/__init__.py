@@ -1,9 +1,36 @@
 """``repro.federated`` - client/server FedAvg orchestration for LightTR."""
 
 from .aggregation import average_flat, average_states, fedavg
+from .asynchrony import (
+    AsyncAggregatorState,
+    LatencyModel,
+    LatencySpec,
+    PendingUpload,
+    resolve_latency_model,
+    staleness_weights,
+)
 from .checkpoint import FederatedCheckpoint, checkpoint_path, latest_checkpoint
 from .client import ClientData, ClientSessionState, FederatedClient
-from .communication import CommunicationLedger, RoundCost, payload_num_bytes
+from .communication import (
+    Codec,
+    CommunicationLedger,
+    EncodedPayload,
+    Float32Codec,
+    IdentityCodec,
+    Int8Codec,
+    PAYLOAD_HEADER_BYTES,
+    RoundCost,
+    available_codecs,
+    codec_by_name,
+    decode_payload,
+    encode_with_feedback,
+    forced_codec_from_env,
+    get_exchange_codec,
+    payload_num_bytes,
+    resolve_exchange_codec,
+    set_exchange_codec,
+    use_exchange_codec,
+)
 from .faults import (
     ClientFaultError,
     FaultEvent,
@@ -37,8 +64,15 @@ from .trainer import (
 
 __all__ = [
     "average_flat", "average_states", "fedavg",
+    "AsyncAggregatorState", "LatencyModel", "LatencySpec", "PendingUpload",
+    "resolve_latency_model", "staleness_weights",
     "ClientData", "ClientSessionState", "FederatedClient",
     "CommunicationLedger", "RoundCost", "payload_num_bytes",
+    "Codec", "EncodedPayload", "IdentityCodec", "Float32Codec", "Int8Codec",
+    "PAYLOAD_HEADER_BYTES", "available_codecs", "codec_by_name",
+    "decode_payload", "encode_with_feedback", "forced_codec_from_env",
+    "get_exchange_codec", "resolve_exchange_codec", "set_exchange_codec",
+    "use_exchange_codec",
     "ClientFaultError", "FaultEvent", "FaultPlan", "FaultSpec",
     "forced_plan_from_env", "resolve_fault_plan",
     "FederatedCheckpoint", "checkpoint_path", "latest_checkpoint",

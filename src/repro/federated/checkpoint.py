@@ -21,7 +21,16 @@ a checkpoint captures *every* mutable input of the remaining rounds:
   rebuilt from this snapshot, so distillation continues exactly);
 * the accumulated round history, communication ledger, the held
   accuracy of the last aggregated round, and the consecutive
-  pool-failure count.
+  pool-failure count;
+* the exchange codec's error-feedback residuals — the per-client
+  uplink residuals ride inside each
+  :class:`~repro.federated.client.ClientSessionState`, and the
+  server's downlink residual is stored explicitly — so a resumed
+  quantised run encodes the identical payload stream;
+* the async aggregator's
+  :class:`~repro.federated.asynchrony.AsyncAggregatorState` (virtual
+  clock, flush count, in-flight and buffered uploads), so a killed
+  async run replays the identical arrival/flush schedule.
 
 Everything *immutable* — datasets, the road network, the model
 architecture, the config — is deliberately **not** stored: the caller
@@ -43,12 +52,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .asynchrony import AsyncAggregatorState
 from .client import ClientSessionState
 
 __all__ = ["FederatedCheckpoint", "checkpoint_path", "latest_checkpoint"]
 
 #: Bump when the checkpoint layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: Version history:
+#: 1 — synchronous-only state (PR 7).
+#: 2 — adds the exchange codec's error-feedback residuals (per-client
+#:     inside ClientSessionState + the server's downlink residual) and
+#:     the async aggregator state.  Version-1 files lack both, so a
+#:     resumed run could not reproduce the uninterrupted byte/flush
+#:     stream — they are rejected with a clear error.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -66,6 +83,8 @@ class FederatedCheckpoint:
     ledger_rounds: list = field(default_factory=list)  # RoundCost entries
     last_accuracy: float | None = None  # held accuracy for quorum-failed rounds
     pool_failures: int = 0  # consecutive whole-pool failures so far
+    downlink_residual: np.ndarray | None = None  # server-side error feedback
+    async_state: AsyncAggregatorState | None = None  # None = synchronous run
     version: int = CHECKPOINT_VERSION
 
     def save(self, path: str) -> str:

@@ -44,16 +44,18 @@ class ClientSessionState:
     Everything a worker process needs (beyond the broadcast parameters)
     to continue this client's local optimisation exactly where the
     previous round left off: the batch-shuffling generator state, the
-    optimiser's flat moment buffers, and the state of every stochastic
-    forward-pass generator inside the model (dropout).  Shipping this
-    with each round task makes results independent of *which* worker
-    executes the client, so serial and process-pool rounds are
-    bit-identical.
+    optimiser's flat moment buffers, the state of every stochastic
+    forward-pass generator inside the model (dropout), and the
+    exchange codec's error-feedback residual (the quantisation error
+    the client still owes the wire).  Shipping this with each round
+    task makes results independent of *which* worker executes the
+    client, so serial and process-pool rounds are bit-identical.
     """
 
     rng_state: dict
     optimizer_state: dict
     model_rng_states: tuple[dict, ...] = ()
+    codec_residual: np.ndarray | None = None
 
 
 class FederatedClient:
@@ -69,6 +71,10 @@ class FederatedClient:
         self.model = model
         self.trainer = LocalTrainer(model, mask_builder, training, rng)
         self._space = FlatParameterSpace.from_module(model)
+        # Error-feedback residual of the uplink exchange codec: the
+        # quantisation error carried into the next round's encode.
+        # None until the first quantised upload.
+        self.codec_residual: np.ndarray | None = None
 
     def receive_global(self, global_state: dict) -> None:
         """Download the server's parameters (Algorithm 3 line 4)."""
@@ -139,6 +145,8 @@ class FederatedClient:
             optimizer_state=self.trainer.optimizer.state_flat(),
             model_rng_states=tuple(g.bit_generator.state
                                    for g in self._model_generators()),
+            codec_residual=(None if self.codec_residual is None
+                            else self.codec_residual.copy()),
         )
 
     def load_session_state(self, state: ClientSessionState) -> None:
@@ -153,6 +161,8 @@ class FederatedClient:
             )
         for generator, rng_state in zip(generators, state.model_rng_states):
             generator.bit_generator.state = rng_state
+        self.codec_residual = (None if state.codec_residual is None
+                               else state.codec_residual.copy())
 
     def apply_round_result(self, upload_flat: np.ndarray,
                            session: ClientSessionState,

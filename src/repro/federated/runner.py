@@ -92,6 +92,13 @@ from ..core.mask import ConstraintMaskBuilder
 from ..core.training import TrainingConfig
 from ..nn.flatten import FlatParameterSpace
 from .client import ClientData, ClientSessionState, FederatedClient
+from .communication import (
+    EncodedPayload,
+    codec_by_name,
+    decode_payload,
+    encode_with_feedback,
+    payload_num_bytes,
+)
 from .faults import ClientFaultError, FaultEvent, FaultPlan
 
 __all__ = [
@@ -137,10 +144,22 @@ class WorkerSetup:
 
 @dataclass(frozen=True)
 class RoundTask:
-    """One selected client's work for one communication round."""
+    """One selected client's work for one communication round.
+
+    ``global_flat`` is the broadcast wire payload: a flat vector under
+    the identity codec, an :class:`~repro.federated.communication.EncodedPayload`
+    otherwise — executors decode it before loading.  ``exchange_codec``
+    names the codec the client encodes its upload with (the error-
+    feedback residual lives in the session state, so retries and pool
+    workers encode bit-identically).  ``defer_stragglers`` switches an
+    injected straggler fault from a real ``time.sleep`` to a virtual
+    delay surfaced on :attr:`RoundResult.straggler_delay` — the async
+    trainer feeds it into the simulated arrival clock instead of
+    stalling a worker.
+    """
 
     client_id: int
-    global_flat: np.ndarray
+    global_flat: "np.ndarray | EncodedPayload"
     epochs: int
     teacher_flat: np.ndarray | None  # float64; None = no distillation
     session: ClientSessionState | None  # None = run on live client state
@@ -151,6 +170,8 @@ class RoundTask:
     compute_dtype: str = "float64"
     backend: str = "reference"
     round_index: int = 0  # fault-plan coordinate
+    exchange_codec: str = "identity"  # uplink/downlink wire codec name
+    defer_stragglers: bool = False  # async mode: no real sleeps
 
 
 @dataclass(frozen=True)
@@ -158,13 +179,18 @@ class RoundResult:
     """What one client's local round produced."""
 
     client_id: int
-    upload_flat: np.ndarray  # raw upload (privatisation happens server-side)
+    upload_flat: np.ndarray  # decoded upload (privatisation happens server-side)
     metrics: dict
     session: ClientSessionState | None  # None when the live client ran in-process
     params_flat: np.ndarray | None = None  # exact float64 params when the
-    # exchange dtype is reduced (sync-back must not round the live client)
-    # or when the upload was fault-corrupted (sync-back must not adopt
-    # the corruption — only the wire payload is poisoned)
+    # exchange dtype is reduced or the codec is lossy (sync-back must not
+    # round the live client) or when the upload was fault-corrupted
+    # (sync-back must not adopt the corruption — only the wire payload
+    # is poisoned)
+    payload_bytes: int | None = None  # measured wire size of the encoded
+    # upload (None for hand-built results: the trainer falls back to
+    # metering upload_flat directly)
+    straggler_delay: float = 0.0  # deferred straggler seconds (async mode)
 
 
 @dataclass(frozen=True)
@@ -212,8 +238,9 @@ def _inject_pre_train(plan: FaultPlan | None, task: RoundTask, attempt: int,
     """Consult the plan before local training.
 
     Raises :class:`ClientFaultError` for no-shows and deadline-busting
-    stragglers; sleeps surviving stragglers; returns the event for
-    faults handled after training (crash / corrupt)."""
+    stragglers; sleeps surviving stragglers (or defers them to the
+    virtual clock when the task asks); returns the event for faults
+    handled after training (crash / corrupt / deferred straggler)."""
     if plan is None:
         return None
     fault = plan.draw(task.round_index, task.client_id, attempt)
@@ -222,6 +249,11 @@ def _inject_pre_train(plan: FaultPlan | None, task: RoundTask, attempt: int,
     if fault.kind == "dropout":
         raise ClientFaultError("dropout", task.client_id, "injected no-show")
     if fault.kind == "straggler":
+        if task.defer_stragglers:
+            # Async mode: the delay becomes virtual arrival time, so a
+            # straggler never stalls a worker (and never times out —
+            # the buffered aggregator simply applies it late).
+            return fault
         if deadline is not None and fault.delay >= deadline:
             raise ClientFaultError(
                 "timeout", task.client_id,
@@ -245,6 +277,52 @@ def _inject_post_train(plan: FaultPlan, task: RoundTask, attempt: int,
                                         attempt, fault.corrupt_mode)
         return corrupted, True
     return flat, False
+
+
+def _apply_post_fault(plan: FaultPlan | None, task: RoundTask, attempt: int,
+                      fault: FaultEvent | None, upload: np.ndarray
+                      ) -> tuple[np.ndarray, bool, float]:
+    """Resolve a pending fault event against the finished upload.
+
+    Returns ``(upload, corrupted, straggler_delay)``.  Corruption is
+    applied to the *decoded* wire vector — after the codec — because
+    that is what the server validates; quantising a NaN-poisoned vector
+    would be undefined.  A deferred straggler surfaces as a virtual
+    delay for the async arrival clock."""
+    if fault is None:
+        return upload, False, 0.0
+    if fault.kind == "straggler":
+        return upload, False, fault.delay
+    upload, corrupted = _inject_post_train(plan, task, attempt, fault, upload)
+    return upload, corrupted, 0.0
+
+
+def _encode_upload(task: RoundTask, client: FederatedClient,
+                   flat: np.ndarray) -> tuple[np.ndarray, int, np.ndarray | None]:
+    """Encode one trained upload for the wire.
+
+    Returns ``(upload, payload_bytes, exact_params)``: the decoded
+    float64 vector the server will aggregate, the measured wire size of
+    the encoded payload, and the client's exact float64 parameters when
+    sync-back must not adopt the lossy wire vector (None when the wire
+    carries the parameters exactly, i.e. the identity codec).
+
+    Under a non-identity codec the exchange-dtype ladder is bypassed:
+    the codec quantises the *exact* float64 parameters (plus the
+    carried error-feedback residual) and fully determines the wire
+    bytes.  The residual update is a pure function of the parameters
+    and the previous residual, so serial and pool execution — and
+    retries, which restore the session snapshot first — encode
+    bit-identically."""
+    codec = codec_by_name(task.exchange_codec)
+    if codec.is_identity:
+        return flat, payload_num_bytes(flat), None
+    exact = client.flat_parameters(dtype=np.float64)
+    payload, decoded, residual = encode_with_feedback(
+        codec, exact, client.codec_residual)
+    if codec.error_feedback:
+        client.codec_residual = residual
+    return decoded, payload_num_bytes(payload), exact
 
 
 # ----------------------------------------------------------------------
@@ -301,9 +379,11 @@ class SerialRunner(RoundRunner):
                 # round that failed mid-flight on a pool re-runs from
                 # the exact same state.
                 client.load_session_state(task.session)
-            client.receive_global_flat(task.global_flat)
+            client.receive_global_flat(decode_payload(task.global_flat))
             flat, metrics = client.local_train_flat(task.epochs, distiller)
-            results.append(RoundResult(task.client_id, flat, metrics, None))
+            upload, nbytes, _ = _encode_upload(task, client, flat)
+            results.append(RoundResult(task.client_id, upload, metrics, None,
+                                       payload_bytes=nbytes))
         return results
 
     def _attempt(self, client: FederatedClient, task: RoundTask, attempt: int,
@@ -312,12 +392,13 @@ class SerialRunner(RoundRunner):
         fault = _inject_pre_train(self.fault_plan, task, attempt, deadline)
         if task.session is not None:
             client.load_session_state(task.session)
-        client.receive_global_flat(task.global_flat)
+        client.receive_global_flat(decode_payload(task.global_flat))
         flat, metrics = client.local_train_flat(task.epochs, distiller)
-        if fault is not None:
-            flat, _ = _inject_post_train(self.fault_plan, task, attempt,
-                                         fault, flat)
-        return RoundResult(task.client_id, flat, metrics, None)
+        upload, nbytes, _ = _encode_upload(task, client, flat)
+        upload, _, delay = _apply_post_fault(self.fault_plan, task, attempt,
+                                             fault, upload)
+        return RoundResult(task.client_id, upload, metrics, None,
+                           payload_bytes=nbytes, straggler_delay=delay)
 
     def run_round_tolerant(self, tasks: Sequence[RoundTask],
                            distiller: MetaKnowledgeDistiller | None = None,
@@ -458,22 +539,22 @@ class _WorkerState:
             client = self._client(task.client_id)
             if task.session is not None:
                 client.load_session_state(task.session)
-            client.receive_global_flat(task.global_flat)
+            client.receive_global_flat(decode_payload(task.global_flat))
             distiller = self._distiller(task.teacher_flat)
             flat, metrics = client.local_train_flat(task.epochs, distiller)
-            params_flat = None
-            if np.dtype(task.exchange_dtype) != np.float64:
+            upload, nbytes, params_flat = _encode_upload(task, client, flat)
+            if params_flat is None and np.dtype(task.exchange_dtype) != np.float64:
                 params_flat = client.flat_parameters(dtype=np.float64)
-            if fault is not None:
-                flat, corrupted = _inject_post_train(plan, task, attempt,
-                                                     fault, flat)
-                if corrupted and params_flat is None:
-                    # Only the wire payload is poisoned: ship the exact
-                    # parameters so sync-back matches a serial client,
-                    # whose local model never saw the corruption.
-                    params_flat = client.flat_parameters(dtype=np.float64)
-            return RoundResult(task.client_id, flat, metrics,
-                               client.session_state(), params_flat)
+            upload, corrupted, delay = _apply_post_fault(plan, task, attempt,
+                                                         fault, upload)
+            if corrupted and params_flat is None:
+                # Only the wire payload is poisoned: ship the exact
+                # parameters so sync-back matches a serial client,
+                # whose local model never saw the corruption.
+                params_flat = client.flat_parameters(dtype=np.float64)
+            return RoundResult(task.client_id, upload, metrics,
+                               client.session_state(), params_flat,
+                               payload_bytes=nbytes, straggler_delay=delay)
         finally:
             nn.set_fused_kernels(previous[0])
             nn.set_sparse_masks(previous[1])

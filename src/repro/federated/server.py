@@ -59,12 +59,28 @@ class FederatedServer:
         return self._space.total_size
 
     def select_clients(self, num_clients: int, fraction: float,
-                       rng: np.random.Generator) -> list[int]:
-        """Randomly sample ``ceil(fraction * num_clients)`` client ids."""
+                       rng: np.random.Generator,
+                       candidates: "list[int] | None" = None) -> list[int]:
+        """Randomly sample ``ceil(fraction * num_clients)`` client ids.
+
+        ``candidates`` restricts the draw to a subset (the async
+        trainer's idle clients); the target count is still computed
+        from the federation size, capped by the candidates available.
+        An empty candidate list selects nobody.  The ``candidates=None``
+        path consumes the RNG exactly as before, so synchronous
+        histories are unchanged.
+        """
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"client fraction must be in (0, 1], got {fraction}")
         count = max(1, int(np.ceil(fraction * num_clients)))
-        picks = rng.choice(num_clients, size=min(count, num_clients), replace=False)
+        if candidates is None:
+            picks = rng.choice(num_clients, size=min(count, num_clients),
+                               replace=False)
+        else:
+            if not candidates:
+                return []
+            pool = np.asarray(sorted(candidates), dtype=np.int64)
+            picks = rng.choice(pool, size=min(count, pool.size), replace=False)
         return sorted(int(i) for i in picks)
 
     def validate_upload(self, vector,

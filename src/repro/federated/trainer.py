@@ -69,14 +69,29 @@ from ..data.dataset import TrajectoryDataset
 from ..data.partition import partition_dataset
 from ..data.synthetic import SyntheticDataset
 from ..nn.flatten import FlatParameterSpace
+from .asynchrony import (
+    AsyncAggregatorState,
+    LatencyModel,
+    LatencySpec,
+    PendingUpload,
+    resolve_latency_model,
+    staleness_weights,
+)
 from .checkpoint import FederatedCheckpoint, checkpoint_path, latest_checkpoint
 from .client import ClientData, FederatedClient
-from .communication import CommunicationLedger
+from .communication import (
+    Codec,
+    CommunicationLedger,
+    encode_with_feedback,
+    payload_num_bytes,
+    resolve_exchange_codec,
+)
 from .faults import FaultPlan, FaultSpec, resolve_fault_plan
 from .runner import (
     ClientFailure,
     ProcessPoolRunner,
     RetryPolicy,
+    RoundExecution,
     RoundExecutionError,
     RoundRunner,
     RoundTask,
@@ -114,6 +129,14 @@ class FederatedConfig:
     checkpoint_every: int = 0  # persist state every K rounds (0 = never)
     checkpoint_dir: str | None = None
     resume_from: str | None = None  # checkpoint file or directory
+    # --- communication knobs (docs/PERFORMANCE.md "Communication") ---
+    exchange_codec: "Codec | str | None" = None  # None -> REPRO_EXCHANGE_CODEC
+    # --- async round mode (docs/ROBUSTNESS.md "Asynchronous rounds") ---
+    async_buffer: int = 0  # 0 = synchronous barrier; K >= 1 = FedBuff buffer
+    staleness_alpha: float = 0.5  # staleness discount exponent (0 = FedAvg)
+    clients_per_round: float | None = None  # async sampling fraction
+    # (defaults to client_fraction); sampled from *idle* clients only
+    latency: "LatencyModel | LatencySpec | str | None" = None  # arrival model
 
     def __post_init__(self):
         if self.rounds < 1:
@@ -134,6 +157,13 @@ class FederatedConfig:
             raise ValueError("checkpoint_every must be >= 0 (0 = never)")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
             raise ValueError("checkpoint_every needs a checkpoint_dir")
+        if self.async_buffer < 0:
+            raise ValueError("async_buffer must be >= 0 (0 = synchronous)")
+        if self.staleness_alpha < 0:
+            raise ValueError("staleness_alpha must be >= 0")
+        if (self.clients_per_round is not None
+                and not 0.0 < self.clients_per_round <= 1.0):
+            raise ValueError("clients_per_round must be in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -154,10 +184,15 @@ class RoundRecord:
     mean_lambda: float
     global_accuracy: float
     completed_clients: tuple[int, ...] = ()  # uploads that passed validation
+    # (async mode: uploads *applied* this wave, in virtual-arrival order)
     failures: tuple[ClientFailure, ...] = ()  # ascending client id
     retries: tuple[tuple[int, int], ...] = ()  # (client_id, extra attempts)
     aggregated: bool = True  # False = quorum failed, global vector held
     fallback_cause: str = field(default="", compare=False)
+    # --- async-mode telemetry (defaults keep synchronous records as-is) ---
+    flushes: int = 0  # buffer flushes applied to the global model this wave
+    mean_staleness: float = 0.0  # mean staleness of the uploads flushed
+    in_flight: tuple[int, ...] = ()  # clients still travelling/buffered after
 
     @property
     def failed_clients(self) -> tuple[int, ...]:
@@ -245,6 +280,13 @@ class FederatedTrainer:
         self._rng = np.random.default_rng(seed)
         # None lets the REPRO_FAULT_PLAN environment forcing apply.
         self.fault_plan = resolve_fault_plan(config.fault_plan)
+        # None lets the REPRO_EXCHANGE_CODEC environment forcing apply.
+        self.codec = resolve_exchange_codec(config.exchange_codec)
+        self._downlink_residual: np.ndarray | None = None
+        self.latency = resolve_latency_model(config.latency)
+        # The async aggregator state (None = synchronous barrier rounds).
+        self._async = (AsyncAggregatorState()
+                       if config.async_buffer > 0 else None)
 
         self.server = FederatedServer(model_factory())
         self.clients = [
@@ -356,6 +398,15 @@ class FederatedTrainer:
         history.extend(checkpoint.history)
         self._last_accuracy = checkpoint.last_accuracy
         self._pool_failures = checkpoint.pool_failures
+        self._downlink_residual = checkpoint.downlink_residual
+        if (checkpoint.async_state is not None) != (self._async is not None):
+            raise ValueError(
+                "checkpoint round mode does not match the config: "
+                f"checkpoint is {'async' if checkpoint.async_state else 'sync'}"
+                f", config asks for {'async' if self._async else 'sync'} "
+                f"(async_buffer={self.config.async_buffer})")
+        if checkpoint.async_state is not None:
+            self._async = checkpoint.async_state
         return checkpoint.next_round
 
     def _save_checkpoint(self, next_round: int, ledger: CommunicationLedger,
@@ -372,6 +423,9 @@ class FederatedTrainer:
             ledger_rounds=list(ledger.rounds),
             last_accuracy=self._last_accuracy,
             pool_failures=self._pool_failures,
+            downlink_residual=(None if self._downlink_residual is None
+                               else self._downlink_residual.copy()),
+            async_state=self._async,
         )
         return checkpoint.save(
             checkpoint_path(self.config.checkpoint_dir, next_round))
@@ -422,9 +476,11 @@ class FederatedTrainer:
         start_round = 0
         if resume is not None:
             start_round = self._restore(resume, ledger, history)
+        run_one = (self._run_async_wave if self._async is not None
+                   else self._run_round)
         try:
             for round_index in range(start_round, self.config.rounds):
-                record = self._run_round(round_index, distiller, ledger)
+                record = run_one(round_index, distiller, ledger)
                 history.append(record)
                 if (self.config.checkpoint_every
                         and (round_index + 1) % self.config.checkpoint_every == 0):
@@ -457,24 +513,33 @@ class FederatedTrainer:
         return train_teacher(self.model_factory, splits, self.mask_builder,
                              teacher_config, self._rng)
 
-    def _run_round(self, round_index: int,
-                   distiller: MetaKnowledgeDistiller | None,
-                   ledger: CommunicationLedger) -> RoundRecord:
-        selected = self.server.select_clients(
-            len(self.clients), self.config.client_fraction, self._rng
-        )
-        # The whole exchange moves flat (P,) vectors: broadcast, upload,
-        # privatisation, and the stacked (C, P) average.
-        global_flat = self.server.global_flat()
-        runner = self._get_runner()
-        # Sessions ship whenever the round may be re-executed: a pool
-        # worker needs them anyway, and a serial retry must rewind the
-        # live client to the exact pre-round state.
-        ship_sessions = runner.ships_state or self.fault_plan is not None
-        tasks = [
+    def _broadcast_payload(self):
+        """One round's downlink: ``(wire, decoded reference, bytes/client)``.
+
+        Identity codec: the wire *is* the exchange-dtype flat vector,
+        bitwise the pre-codec behaviour.  Otherwise the exact float64
+        global vector is encoded (carrying the server-side error-
+        feedback residual) and every client decodes the same payload,
+        so what clients load is exactly ``decoded``.
+        """
+        if self.codec.is_identity:
+            flat = self.server.global_flat()
+            return flat, flat, payload_num_bytes(flat)
+        exact = self.server.global_flat(dtype=np.float64)
+        payload, decoded, residual = encode_with_feedback(
+            self.codec, exact, self._downlink_residual)
+        if self.codec.error_feedback:
+            self._downlink_residual = residual
+        return payload, decoded, payload_num_bytes(payload)
+
+    def _build_tasks(self, selected: list[int], wire,
+                     distiller: MetaKnowledgeDistiller | None,
+                     round_index: int, ship_sessions: bool,
+                     defer_stragglers: bool = False) -> list[RoundTask]:
+        return [
             RoundTask(
                 client_id=client_id,
-                global_flat=global_flat,
+                global_flat=wire,
                 epochs=self.config.local_epochs,
                 teacher_flat=self._teacher_flat if distiller is not None else None,
                 session=(self.clients[client_id].session_state()
@@ -486,9 +551,15 @@ class FederatedTrainer:
                 compute_dtype=nn.get_compute_dtype().name,
                 backend=nn.get_backend(),
                 round_index=round_index,
+                exchange_codec=self.codec.name,
+                defer_stragglers=defer_stragglers,
             )
             for client_id in selected  # ascending: fixes aggregation order
         ]
+
+    def _execute_tasks(self, runner: RoundRunner, tasks: list[RoundTask],
+                       distiller: MetaKnowledgeDistiller | None):
+        """Run one round's tasks with the pool-failure fallback."""
         policy = self._retry_policy()
         fallback_cause = ""
         try:
@@ -503,9 +574,44 @@ class FederatedTrainer:
             fallback_cause = str(exc)
             serial = self._handle_pool_failure(exc)
             execution = serial.run_round_tolerant(tasks, distiller, policy)
+        return execution, fallback_cause
+
+    def _upload_bytes(self, result) -> int:
+        """Measured wire size of one upload (hand-built results fall
+        back to metering the decoded vector itself)."""
+        if result.payload_bytes is not None:
+            return result.payload_bytes
+        return payload_num_bytes(result.upload_flat)
+
+    def _held_accuracy(self) -> float:
+        """The accuracy to report when the global vector did not move."""
+        if self._last_accuracy is None:
+            self._last_accuracy = model_segment_accuracy(
+                self.server.global_model, self.mask_builder, self.global_test)
+        return self._last_accuracy
+
+    def _run_round(self, round_index: int,
+                   distiller: MetaKnowledgeDistiller | None,
+                   ledger: CommunicationLedger) -> RoundRecord:
+        selected = self.server.select_clients(
+            len(self.clients), self.config.client_fraction, self._rng
+        )
+        # The whole exchange moves flat (P,) vectors: broadcast, upload,
+        # privatisation, and the stacked (C, P) average.
+        wire, reference, bytes_down = self._broadcast_payload()
+        runner = self._get_runner()
+        # Sessions ship whenever the round may be re-executed: a pool
+        # worker needs them anyway, and a serial retry must rewind the
+        # live client to the exact pre-round state.
+        ship_sessions = runner.ships_state or self.fault_plan is not None
+        tasks = self._build_tasks(selected, wire, distiller, round_index,
+                                  ship_sessions)
+        execution, fallback_cause = self._execute_tasks(runner, tasks,
+                                                        distiller)
 
         failures = list(execution.failures)
         uploaded: list[np.ndarray] = []
+        upload_bytes: list[int] = []
         weights: list[float] = []
         losses: list[float] = []
         lambdas: list[float] = []
@@ -528,9 +634,11 @@ class FederatedTrainer:
                                               rejection))
                 continue
             if self.privatizer is not None:
-                flat = self.privatizer.privatize_update_flat(flat, global_flat)
-                flat = np.asarray(flat, dtype=exchange_dtype)
+                flat = self.privatizer.privatize_update_flat(flat, reference)
+                if self.codec.is_identity:
+                    flat = np.asarray(flat, dtype=exchange_dtype)
             uploaded.append(flat)
+            upload_bytes.append(self._upload_bytes(result))
             completed.append(result.client_id)
             weights.append(result.metrics["num_examples"])
             losses.append(result.metrics["loss"])
@@ -553,17 +661,15 @@ class FederatedTrainer:
             # Quorum failed: hold the global vector, skip aggregation,
             # and record NaN-free sentinel statistics (np.mean over an
             # empty survivor list would be NaN).
-            if self._last_accuracy is None:
-                self._last_accuracy = model_segment_accuracy(
-                    self.server.global_model, self.mask_builder,
-                    self.global_test)
-            accuracy = self._last_accuracy
+            accuracy = self._held_accuracy()
             mean_loss = 0.0
             mean_lambda = 0.0
         # Every selected client received the broadcast, even the ones
         # that failed to upload.
-        ledger.record_round(round_index, global_flat, uploaded,
-                            num_broadcast=len(selected))
+        ledger.record_round(round_index, wire, uploaded,
+                            num_broadcast=len(selected),
+                            broadcast_bytes=bytes_down,
+                            upload_bytes=upload_bytes)
 
         return RoundRecord(
             round_index=round_index,
@@ -576,6 +682,158 @@ class FederatedTrainer:
             retries=tuple(sorted(execution.retry_counts.items())),
             aggregated=aggregated,
             fallback_cause=fallback_cause,
+        )
+
+    # ------------------------------------------------------------------
+    # asynchronous waves (FedBuff-style buffered aggregation)
+    # ------------------------------------------------------------------
+    def _flush_buffer(self) -> list[int]:
+        """Apply the buffered uploads to the global model; returns the
+        flushed uploads' staleness values."""
+        state = self._async
+        entries, state.buffer = state.buffer, []
+        staleness = [state.version - upload.version for upload in entries]
+        weights = staleness_weights([u.base_weight for u in entries],
+                                    staleness, self.config.staleness_alpha)
+        if (self.config.staleness_alpha == 0.0
+                and self.config.aggregation != "fedavg"):
+            # alpha=0 + uniform: every weight is exactly 1.0 — take the
+            # unweighted np.average path so an async flush over the same
+            # uploads is bitwise the synchronous aggregation.
+            agg_weights = None
+        else:
+            agg_weights = [float(w) for w in weights]
+        self.server.aggregate_flat([u.vector for u in entries], agg_weights)
+        state.version += 1
+        return staleness
+
+    def _run_async_wave(self, wave: int,
+                        distiller: MetaKnowledgeDistiller | None,
+                        ledger: CommunicationLedger) -> RoundRecord:
+        """One async wave: dispatch idle clients, then advance virtual
+        time until the next buffer flush (or the wire runs dry).
+
+        Wall-clock never gates progress: stragglers' delays are virtual
+        (``RoundTask.defer_stragglers``), arrivals are ordered by the
+        seeded latency model, and the global model advances every
+        ``async_buffer`` arrivals — so a slow client delays only its own
+        contribution, never the round.
+        """
+        state = self._async
+        config = self.config
+        runner = self._get_runner()
+        busy = state.busy_clients()
+        idle = [i for i in range(len(self.clients)) if i not in busy]
+        fraction = (config.clients_per_round
+                    if config.clients_per_round is not None
+                    else config.client_fraction)
+        selected = self.server.select_clients(len(self.clients), fraction,
+                                              self._rng, candidates=idle)
+
+        execution = RoundExecution(results=[])
+        fallback_cause = ""
+        bytes_down = 0
+        if selected:
+            wire, reference, bytes_down = self._broadcast_payload()
+            ship_sessions = runner.ships_state or self.fault_plan is not None
+            tasks = self._build_tasks(selected, wire, distiller, wave,
+                                      ship_sessions, defer_stragglers=True)
+            execution, fallback_cause = self._execute_tasks(runner, tasks,
+                                                            distiller)
+
+        # Stage the survivors' uploads on the virtual wire.  Validation
+        # and privatisation happen at dispatch — the payload does not
+        # change in flight — so buffered vectors are aggregation-ready.
+        failures = list(execution.failures)
+        for result in execution.results:
+            if result.session is not None:
+                self.clients[result.client_id].apply_round_result(
+                    result.upload_flat, result.session, result.params_flat)
+            upload = np.asarray(result.upload_flat, dtype=np.float64)
+            rejection = self.server.validate_upload(
+                upload, config.max_upload_norm)
+            if rejection is not None:
+                failures.append(ClientFailure(result.client_id, "rejected", 1,
+                                              rejection))
+                continue
+            if self.privatizer is not None:
+                upload = np.asarray(
+                    self.privatizer.privatize_update_flat(upload, reference),
+                    dtype=np.float64)
+            arrival = (state.virtual_now
+                       + self.latency.draw(wave, result.client_id)
+                       + result.straggler_delay)
+            state.in_flight.append(PendingUpload(
+                client_id=result.client_id,
+                arrival_time=arrival,
+                vector=upload,
+                base_weight=(result.metrics["num_examples"]
+                             if config.aggregation == "fedavg" else 1.0),
+                version=state.version,
+                loss=result.metrics["loss"],
+                lam=result.metrics["lambda"],
+                payload_bytes=self._upload_bytes(result),
+                dispatch_wave=wave,
+            ))
+        failures.sort(key=lambda failure: failure.client_id)
+        # Deterministic arrival order: virtual time, client id tie-break.
+        state.in_flight.sort(key=lambda u: (u.arrival_time, u.client_id))
+
+        # Advance the virtual clock until one flush lands (the cadence
+        # that triggers the next dispatch wave); the final wave drains
+        # everything still travelling.
+        buffer_size = config.async_buffer
+        drain = wave == config.rounds - 1
+        flushes = 0
+        staleness_applied: list[int] = []
+        completed: list[int] = []
+        upload_bytes: list[int] = []
+        losses: list[float] = []
+        lambdas: list[float] = []
+        while state.in_flight and (drain or flushes == 0):
+            upload = state.in_flight.pop(0)
+            state.virtual_now = max(state.virtual_now, upload.arrival_time)
+            state.buffer.append(upload)
+            completed.append(upload.client_id)
+            upload_bytes.append(upload.payload_bytes)
+            losses.append(upload.loss)
+            lambdas.append(upload.lam)
+            if (len(state.buffer) >= buffer_size
+                    and len(state.buffer) >= config.min_clients_per_round):
+                staleness_applied.extend(self._flush_buffer())
+                flushes += 1
+        if (drain and state.buffer
+                and len(state.buffer) >= config.min_clients_per_round):
+            # Final partial flush: the run ends with no quorum-sized
+            # upload stranded in the buffer.
+            staleness_applied.extend(self._flush_buffer())
+            flushes += 1
+
+        if flushes:
+            accuracy = model_segment_accuracy(
+                self.server.global_model, self.mask_builder, self.global_test)
+            self._last_accuracy = accuracy
+        else:
+            accuracy = self._held_accuracy()
+        ledger.record_round(wave, None, [], num_broadcast=len(selected),
+                            broadcast_bytes=bytes_down,
+                            upload_bytes=upload_bytes)
+
+        return RoundRecord(
+            round_index=wave,
+            selected_clients=tuple(selected),
+            mean_loss=float(np.mean(losses)) if losses else 0.0,
+            mean_lambda=float(np.mean(lambdas)) if lambdas else 0.0,
+            global_accuracy=accuracy,
+            completed_clients=tuple(completed),
+            failures=tuple(failures),
+            retries=tuple(sorted(execution.retry_counts.items())),
+            aggregated=flushes > 0,
+            fallback_cause=fallback_cause,
+            flushes=flushes,
+            mean_staleness=(float(np.mean(staleness_applied))
+                            if staleness_applied else 0.0),
+            in_flight=tuple(sorted(state.busy_clients())),
         )
 
 
@@ -597,17 +855,33 @@ def train_isolated_then_average(model_factory: Callable[[], RecoveryModel],
     """
     trainer = FederatedTrainer(model_factory, client_data, mask_builder,
                                config, global_test, seed=seed)
+    codec = trainer.codec
     total_epochs = config.rounds * config.local_epochs
     flats, losses = [], []
+    upload_bytes: list[int] = []
     for client in trainer.clients:
         epoch_losses = client.trainer.train_epochs(client.data.train,
                                                    epochs=total_epochs)
-        flats.append(client.flat_parameters())
+        if codec.is_identity:
+            flats.append(client.flat_parameters())
+        else:
+            # A single exchange: encode without a carried residual (there
+            # is no next round for error feedback to land in).
+            payload, decoded, _ = encode_with_feedback(
+                codec, client.flat_parameters(dtype=np.float64), None)
+            flats.append(decoded)
+            upload_bytes.append(payload_num_bytes(payload))
         losses.append(float(np.mean(epoch_losses)))
     trainer.server.aggregate_flat(flats)
     ledger = CommunicationLedger()
     # One exchange at the end: every client ships its model to the others.
-    ledger.record_round(0, trainer.server.global_flat(), flats)
+    if codec.is_identity:
+        ledger.record_round(0, trainer.server.global_flat(), flats)
+    else:
+        averaged = codec.encode(trainer.server.global_flat(dtype=np.float64))
+        ledger.record_round(0, None, flats, num_broadcast=len(flats),
+                            broadcast_bytes=payload_num_bytes(averaged),
+                            upload_bytes=upload_bytes)
     accuracy = model_segment_accuracy(trainer.server.global_model, mask_builder,
                                       global_test)
     everyone = tuple(range(len(trainer.clients)))

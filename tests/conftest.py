@@ -32,6 +32,20 @@ suite.  Tests that assert every-client-uploads behaviour (exact ledger
 byte counts, full survivor sets) carry the ``fault_free`` marker and
 are skipped under forcing; everything else must pass with faults
 active.  See docs/ROBUSTNESS.md.
+
+Exchange-codec forcing
+----------------------
+Setting ``REPRO_EXCHANGE_CODEC`` (the CI int8-exchange leg, e.g.
+``int8``) routes every :class:`~repro.federated.trainer.FederatedTrainer`
+that was not given an explicit codec through that wire codec
+(:func:`repro.federated.set_exchange_codec`), so quantised broadcast /
+upload payloads, error-feedback residuals and the payload byte
+accounting run under the whole federated suite.  Tests that assert
+lossless-float64 wire contracts — exact ledger byte counts, bitwise
+sync-vs-isolated parities that only hold for the identity codec —
+carry the ``identity_exchange`` marker and are skipped under forcing;
+everything else must pass with quantisation active.  See
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -60,6 +74,14 @@ if _FORCED_BACKEND:
 
 _FORCED_FAULT_PLAN = os.environ.get("REPRO_FAULT_PLAN")
 
+# Exchange-codec forcing (the CI int8-exchange leg): validate the name
+# eagerly so a typo fails collection, not the first federated test.
+_FORCED_CODEC = os.environ.get("REPRO_EXCHANGE_CODEC")
+if _FORCED_CODEC:
+    from repro.federated import set_exchange_codec
+
+    set_exchange_codec(_FORCED_CODEC)
+
 
 def pytest_collection_modifyitems(config, items):
     if _FORCED_FAULT_PLAN:
@@ -69,6 +91,13 @@ def pytest_collection_modifyitems(config, items):
         for item in items:
             if "fault_free" in item.keywords:
                 item.add_marker(skip_faulty)
+    if _FORCED_CODEC and _FORCED_CODEC != "identity":
+        skip_lossy = pytest.mark.skip(
+            reason=f"identity-exchange contract (REPRO_EXCHANGE_CODEC "
+                   f"forces {_FORCED_CODEC!r}; see docs/PERFORMANCE.md)")
+        for item in items:
+            if "identity_exchange" in item.keywords:
+                item.add_marker(skip_lossy)
     if np.dtype(_FORCED_DTYPE or "float64") == np.dtype(np.float64):
         return
     skip = pytest.mark.skip(

@@ -85,6 +85,20 @@ class TestCheckpointFiles:
         with pytest.raises(ValueError, match="version"):
             FederatedCheckpoint.load(path)
 
+    def test_version_1_files_rejected(self, tmp_path):
+        """Pre-codec checkpoints (version 1) lack the error-feedback
+        residuals and async state, so a resumed run could not reproduce
+        the uninterrupted byte/flush stream — they must be refused, not
+        silently resumed."""
+        legacy = FederatedCheckpoint(
+            next_round=2, global_flat=np.zeros(3), client_sessions=(),
+            client_params=(), trainer_rng_state={}, teacher_flat=None,
+            version=1,
+        )
+        path = legacy.save(str(tmp_path / "legacy.ckpt"))
+        with pytest.raises(ValueError, match="version 1"):
+            FederatedCheckpoint.load(path)
+
     def test_config_requires_dir_with_checkpointing(self):
         with pytest.raises(ValueError, match="checkpoint_dir"):
             fed_config(checkpoint_every=2)
@@ -153,6 +167,65 @@ class TestBitIdenticalResume:
             federation, mask, tiny_config, tmp_path,
             fault_plan="crash=0.1,dropout=0.1,corrupt=0.1,seed=7",
             task_retries=1)
+
+    def test_resume_is_bit_identical_with_quantised_exchange(
+            self, federation, mask, tiny_config, tmp_path):
+        """The int8 codec's error-feedback residuals (per-client uplink
+        + server downlink) ride the checkpoint, so the resumed run
+        encodes the identical payload stream."""
+        self.assert_resume_matches_uninterrupted(federation, mask, tiny_config,
+                                                 tmp_path,
+                                                 exchange_codec="int8")
+
+    def test_resume_is_bit_identical_in_async_mode(self, federation, mask,
+                                                   tiny_config, tmp_path):
+        """A killed async run resumes with its virtual clock, version
+        counter, and in-flight/buffered uploads intact, replaying the
+        identical arrival/flush schedule.
+
+        The kill is simulated from the *intermediate* checkpoint of a
+        full run (not a shorter config): async waves know the final
+        round drains the wire, so a ``rounds=2`` run is legitimately
+        different from the first two waves of a ``rounds=4`` run."""
+        async_kwargs = dict(async_buffer=2, staleness_alpha=0.5,
+                            latency="base=1,jitter=2,seed=6")
+        straight = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=4, checkpoint_every=2,
+                       checkpoint_dir=str(tmp_path), **async_kwargs))
+        expected = straight.run()
+        expected_flat = straight.server.global_flat(dtype=np.float64)
+        midpoint = checkpoint_path(str(tmp_path), 2)
+
+        resumed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=4, resume_from=midpoint, **async_kwargs))
+        result = resumed.run()
+
+        assert result.history == expected.history
+        assert result.ledger.rounds == expected.ledger.rounds
+        assert np.array_equal(resumed.server.global_flat(dtype=np.float64),
+                              expected_flat)
+        for resumed_client, straight_client in zip(resumed.clients,
+                                                   straight.clients):
+            assert np.array_equal(
+                resumed_client.flat_parameters(dtype=np.float64),
+                straight_client.flat_parameters(dtype=np.float64))
+
+    def test_resume_rejects_round_mode_mismatch(self, federation, mask,
+                                                tiny_config, tmp_path):
+        """A synchronous checkpoint cannot seed an async run (or vice
+        versa): the aggregator state would be meaningless."""
+        killed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=2, checkpoint_every=2,
+                       checkpoint_dir=str(tmp_path)))
+        killed.run()
+        resumed = make_trainer(
+            federation, mask, tiny_config,
+            fed_config(rounds=4, resume_from=str(tmp_path), async_buffer=2))
+        with pytest.raises(ValueError, match="round mode"):
+            resumed.run()
 
     def test_resume_rejects_mismatched_federation(self, federation, mask,
                                                   tiny_config, tmp_path,

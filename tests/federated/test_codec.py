@@ -1,0 +1,331 @@
+"""The exchange codec layer: wire round-trips, error feedback, byte
+accounting, and the registry/forcing knobs.
+
+The byte numbers are pinned, not approximated: a payload of ``P``
+parameters costs exactly ``P * 8`` raw bytes (identity/float64),
+``16 + 4 * P`` encoded float32 bytes, and
+``16 + P + 4 * ceil(P / 64)`` encoded int8 bytes (header + values +
+per-chunk scales).  Any drift in the accounting is a ledger regression.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintMaskBuilder, LTEModel, TrainingConfig
+from repro.federated import (
+    EncodedPayload,
+    FederatedConfig,
+    FederatedTrainer,
+    Int8Codec,
+    PAYLOAD_HEADER_BYTES,
+    available_codecs,
+    build_federation,
+    codec_by_name,
+    decode_payload,
+    encode_with_feedback,
+    get_exchange_codec,
+    payload_num_bytes,
+    resolve_exchange_codec,
+    set_exchange_codec,
+    train_isolated_then_average,
+    use_exchange_codec,
+)
+from repro.federated import communication
+
+
+@pytest.fixture(scope="module")
+def federation(tiny_world):
+    return build_federation(tiny_world, num_clients=3, keep_ratio=0.25)
+
+
+@pytest.fixture(scope="module")
+def mask(tiny_world):
+    return ConstraintMaskBuilder(tiny_world.network, radius=400.0)
+
+
+def lte_factory(config):
+    def factory():
+        return LTEModel(config, np.random.default_rng(33))
+    return factory
+
+
+def one_round_config(**kwargs):
+    return FederatedConfig(
+        rounds=1, client_fraction=1.0, local_epochs=1,
+        training=TrainingConfig(epochs=1, batch_size=8, lr=3e-3),
+        use_meta=False, **kwargs,
+    )
+
+
+def vector(size=1000, seed=5, scale=0.05):
+    return np.random.default_rng(seed).normal(0.0, scale, size=size)
+
+
+class TestRoundTrips:
+    def test_identity_is_passthrough(self):
+        codec = codec_by_name("identity")
+        flat = vector()
+        assert codec.is_identity
+        assert decode_payload(codec.encode(flat)) is not None
+        assert np.array_equal(codec.decode(codec.encode(flat)), flat)
+
+    def test_float32_roundtrip_is_cast(self):
+        codec = codec_by_name("float32")
+        flat = vector()
+        payload = codec.encode(flat)
+        assert payload.values.dtype == np.float32
+        assert np.array_equal(codec.decode(payload),
+                              flat.astype(np.float32).astype(np.float64))
+
+    def test_int8_error_bounded_by_half_scale(self):
+        codec = codec_by_name("int8")
+        flat = vector(size=1000)
+        decoded = codec.decode(codec.encode(flat))
+        # Rounding to the nearest of 255 levels: each element's error is
+        # at most half its chunk's scale (absmax / 127).
+        chunk = codec.chunk
+        padded = np.zeros(-(-flat.size // chunk) * chunk)
+        padded[:flat.size] = flat
+        per_chunk_scale = np.abs(padded.reshape(-1, chunk)).max(axis=1) / 127.0
+        err_pad = np.zeros_like(padded)
+        err_pad[:flat.size] = np.abs(decoded - flat)
+        assert np.all(err_pad.reshape(-1, chunk)
+                      <= per_chunk_scale[:, None] / 2.0 + 1e-12)
+
+    def test_int8_encoding_is_deterministic(self):
+        codec = codec_by_name("int8")
+        flat = vector(seed=11)
+        one, two = codec.encode(flat), codec.encode(flat)
+        assert np.array_equal(one.values, two.values)
+        assert np.array_equal(one.scales, two.scales)
+        assert np.array_equal(codec.decode(one), codec.decode(two))
+
+    def test_int8_zero_blocks_decode_to_zero(self):
+        codec = Int8Codec("int8-test-zero", chunk=4, error_feedback=False)
+        flat = np.zeros(10)
+        payload = codec.encode(flat)
+        assert np.all(payload.values == 0)
+        assert np.all(payload.scales == 1.0)
+        assert np.array_equal(codec.decode(payload), flat)
+
+    def test_int8_rejects_non_finite(self):
+        codec = codec_by_name("int8")
+        bad = vector(size=16)
+        bad[3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            codec.encode(bad)
+
+    def test_int8_ragged_tail_roundtrips(self):
+        codec = Int8Codec("int8-test-ragged", chunk=64, error_feedback=False)
+        flat = vector(size=100)  # not a multiple of the chunk
+        payload = codec.encode(flat)
+        assert payload.values.size == 100
+        assert payload.scales.size == 2  # ceil(100 / 64)
+        decoded = codec.decode(payload)
+        assert decoded.size == 100
+        assert np.max(np.abs(decoded - flat)) < np.abs(flat).max()
+
+    def test_encoded_payload_pickles(self):
+        payload = codec_by_name("int8").encode(vector(size=200))
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone.codec == payload.codec
+        assert np.array_equal(clone.values, payload.values)
+        assert np.array_equal(clone.scales, payload.scales)
+        assert np.array_equal(decode_payload(clone), decode_payload(payload))
+
+
+class TestErrorFeedback:
+    def test_residual_is_what_the_wire_still_owes(self):
+        codec = codec_by_name("int8")
+        flat = vector(size=256, seed=2)
+        payload, decoded, residual = encode_with_feedback(codec, flat, None)
+        assert np.allclose(decoded + residual, flat, atol=1e-15)
+        assert payload_num_bytes(payload) > 0
+
+    def test_no_feedback_codec_returns_none_residual(self):
+        for name in ("identity", "float32", "int8-nofb"):
+            _, _, residual = encode_with_feedback(
+                codec_by_name(name), vector(size=64), None)
+            assert residual is None
+
+    def test_feedback_cancels_noise_across_rounds(self):
+        """Encoding the *same* vector repeatedly with the residual
+        carried: the running mean of the decoded stream converges to the
+        true vector (the whole point of error feedback), while the
+        no-feedback stream keeps its one-shot quantisation bias."""
+        target = vector(size=512, seed=7)
+        with_fb = codec_by_name("int8")
+        without = codec_by_name("int8-nofb")
+        residual = None
+        fb_sum = np.zeros_like(target)
+        rounds = 64
+        for _ in range(rounds):
+            _, decoded, residual = encode_with_feedback(with_fb, target,
+                                                        residual)
+            fb_sum += decoded
+        fb_error = np.abs(fb_sum / rounds - target).max()
+        _, one_shot, _ = encode_with_feedback(without, target, None)
+        raw_error = np.abs(one_shot - target).max()
+        assert fb_error < raw_error / 4
+        # The residual stays bounded by one quantisation step per chunk.
+        assert np.abs(residual).max() <= np.abs(target).max() / 127.0 + 1e-12
+
+
+class TestByteAccounting:
+    """Satellite: payload_num_bytes must meter the FULL payload."""
+
+    def test_pinned_bytes_per_codec_at_p1000(self):
+        flat = vector(size=1000)
+        assert payload_num_bytes(flat) == 8000  # raw float64 ndarray
+        f32 = codec_by_name("float32").encode(flat)
+        assert payload_num_bytes(f32) == PAYLOAD_HEADER_BYTES + 4 * 1000
+        i8 = codec_by_name("int8").encode(flat)
+        # 16 chunks of 64 -> 16 float32 scales.
+        assert payload_num_bytes(i8) == PAYLOAD_HEADER_BYTES + 1000 + 4 * 16
+        assert payload_num_bytes(i8) == 1080
+        assert payload_num_bytes(f32) == 4016
+
+    def test_scales_and_header_are_counted(self):
+        payload = codec_by_name("int8").encode(vector(size=1000))
+        assert (payload_num_bytes(payload)
+                == PAYLOAD_HEADER_BYTES + payload.values.nbytes
+                + payload.scales.nbytes)
+        assert payload_num_bytes(payload) > payload.values.nbytes
+
+    def test_int8_shrinks_beyond_gate(self):
+        flat = vector(size=4096)
+        f32 = payload_num_bytes(codec_by_name("float32").encode(flat))
+        i8 = payload_num_bytes(codec_by_name("int8").encode(flat))
+        assert f32 / i8 >= 3.5  # the acceptance gate, at primitive level
+
+    @pytest.mark.fault_free  # per-upload byte math assumes every client uploads
+    def test_ledger_totals_pinned_per_codec(self, federation, mask,
+                                            tiny_config):
+        clients, global_test = federation
+        num_clients = len(clients)
+        expected = {}
+        costs = {}
+        for name in ("identity", "float32", "int8"):
+            trainer = FederatedTrainer(
+                lte_factory(tiny_config), clients, mask,
+                one_round_config(exchange_codec=name), global_test, seed=0)
+            P = trainer.server.num_parameters
+            expected["identity"] = P * 8
+            expected["float32"] = PAYLOAD_HEADER_BYTES + 4 * P
+            expected["int8"] = PAYLOAD_HEADER_BYTES + P + 4 * (-(-P // 64))
+            costs[name] = trainer.run().ledger.rounds[0]
+        for name, per_payload in expected.items():
+            assert costs[name].bytes_down == per_payload * num_clients, name
+            assert costs[name].bytes_up == per_payload * num_clients, name
+
+    @pytest.mark.fault_free
+    def test_isolated_path_meters_encoded_bytes(self, federation, mask,
+                                                tiny_config):
+        clients, global_test = federation
+        result = train_isolated_then_average(
+            lte_factory(tiny_config), clients, mask,
+            one_round_config(exchange_codec="int8"), global_test, seed=0)
+        cost = result.ledger.rounds[0]
+        trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
+                                   one_round_config(), global_test, seed=0)
+        P = trainer.server.num_parameters
+        per_payload = PAYLOAD_HEADER_BYTES + P + 4 * (-(-P // 64))
+        assert cost.bytes_up == per_payload * len(clients)
+        assert cost.bytes_down == per_payload * len(clients)
+
+
+class TestRegistryAndForcing:
+    def test_registry_contents(self):
+        names = available_codecs()
+        for required in ("identity", "float32", "int8", "int8-nofb"):
+            assert required in names
+
+    def test_unknown_codec_lists_known_names(self):
+        with pytest.raises(ValueError, match="identity"):
+            codec_by_name("gzip")
+
+    def test_resolution_precedence(self):
+        explicit = Int8Codec("int8", chunk=32)
+        assert resolve_exchange_codec(explicit) is explicit
+        assert resolve_exchange_codec("float32").name == "float32"
+        assert resolve_exchange_codec(None).name == get_exchange_codec().name
+        with pytest.raises(TypeError):
+            resolve_exchange_codec(123)
+
+    def test_use_exchange_codec_restores(self):
+        before = get_exchange_codec().name
+        with use_exchange_codec("float32") as codec:
+            assert codec.name == "float32"
+            assert get_exchange_codec().name == "float32"
+        assert get_exchange_codec().name == before
+
+    def test_set_exchange_codec_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown exchange codec"):
+            set_exchange_codec("nope")
+
+    def test_env_forcing_applies_on_first_read(self, monkeypatch):
+        monkeypatch.setattr(communication, "_ACTIVE_CODEC", None)
+        monkeypatch.setenv("REPRO_EXCHANGE_CODEC", "int8-nofb")
+        assert get_exchange_codec().name == "int8-nofb"
+
+    def test_env_forcing_bad_name_fails_fast(self, monkeypatch):
+        monkeypatch.setattr(communication, "_ACTIVE_CODEC", None)
+        monkeypatch.setenv("REPRO_EXCHANGE_CODEC", "bogus")
+        with pytest.raises(ValueError, match="unknown exchange codec"):
+            get_exchange_codec()
+
+
+class TestTrainerIntegration:
+    def test_explicit_codec_wins_over_forcing(self, federation, mask,
+                                              tiny_config):
+        clients, global_test = federation
+        with use_exchange_codec("int8"):
+            trainer = FederatedTrainer(
+                lte_factory(tiny_config), clients, mask,
+                one_round_config(exchange_codec="identity"), global_test,
+                seed=0)
+        assert trainer.codec.is_identity
+
+    def test_quantised_run_trains_and_differs_from_reference(
+            self, federation, mask, tiny_config):
+        clients, global_test = federation
+
+        def run(codec):
+            trainer = FederatedTrainer(
+                lte_factory(tiny_config), clients, mask,
+                one_round_config(exchange_codec=codec), global_test, seed=0)
+            trainer.run()
+            return trainer.server.global_flat(dtype=np.float64)
+
+        exact = run("identity")
+        quantised = run("int8")
+        assert np.all(np.isfinite(quantised))
+        assert not np.array_equal(exact, quantised)  # the wire is lossy
+        # ... but only slightly: quantisation is a wire perturbation,
+        # not a training divergence.
+        assert np.abs(exact - quantised).max() < 0.1
+
+    def test_clients_carry_uplink_residual(self, federation, mask,
+                                           tiny_config):
+        clients, global_test = federation
+        trainer = FederatedTrainer(
+            lte_factory(tiny_config), clients, mask,
+            one_round_config(exchange_codec="int8"), global_test, seed=0)
+        trainer.run()
+        carried = [c.codec_residual for c in trainer.clients]
+        assert any(r is not None and np.abs(r).max() > 0 for r in carried)
+        assert trainer._downlink_residual is not None
+
+    def test_no_feedback_run_keeps_residuals_empty(self, federation, mask,
+                                                   tiny_config):
+        clients, global_test = federation
+        trainer = FederatedTrainer(
+            lte_factory(tiny_config), clients, mask,
+            one_round_config(exchange_codec="int8-nofb"), global_test, seed=0)
+        trainer.run()
+        assert all(c.codec_residual is None for c in trainer.clients)
+        assert trainer._downlink_residual is None

@@ -46,6 +46,7 @@ def one_round_config():
 
 
 class TestLedgerUnification:
+    @pytest.mark.identity_exchange  # P*8 wire math is the raw-float64 codec
     def test_isolated_path_accounts_flat_bytes(self, federation, mask,
                                                tiny_config):
         clients, global_test = federation
@@ -77,6 +78,7 @@ class TestLedgerUnification:
 
 
 class TestFloat32Communication:
+    @pytest.mark.identity_exchange  # exchange-dtype halving only applies to raw vectors
     def test_float32_exchange_halves_round_traffic(self, federation, mask,
                                                    tiny_config):
         clients, global_test = federation
@@ -97,6 +99,7 @@ class TestFloat32Communication:
         assert half.history[0].global_accuracy == pytest.approx(
             full.history[0].global_accuracy, abs=0.05)
 
+    @pytest.mark.identity_exchange  # exchange-dtype halving only applies to raw vectors
     def test_float32_isolated_path_halves_too(self, federation, mask,
                                               tiny_config):
         clients, global_test = federation
