@@ -1,0 +1,193 @@
+"""Client-scale benchmark: thousand-client trained rounds.
+
+Runs one trained federated round at 100 / 500 / 1000 clients in both
+client modes — eager (every ``FederatedClient`` materialised up front)
+and lazy (flat shards + a bounded model arena) — and records, per
+configuration, the wall-clock round seconds and the process peak RSS.
+Written to ``results/client_scale.*.txt`` and merged into
+``BENCH_hotpath.json`` under ``client_scale``.
+
+Every configuration runs in its **own subprocess**: ``ru_maxrss`` is a
+process-lifetime high-water mark, so measuring eager and lazy in one
+process would report the eager peak for both.
+
+The acceptance gates:
+
+* the 1000-client lazy trained round completes;
+* lazy and eager produce **bit-identical** round histories and final
+  global parameters at every rung (compared via sha256 digests across
+  the subprocess boundary);
+* at 500+ clients, lazy peak RSS is at least ``MEMORY_GATE``x below
+  eager.
+
+Marked ``slow``: tier-1 (`pytest -x -q`) skips it; run with
+
+    pytest -m slow benchmarks/test_client_scale.py -s
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+
+CLIENT_COUNTS = (100, 500, 1000)
+MEMORY_GATE = 4.0  # lazy vs eager peak RSS at 500+ clients, at least
+CLIENT_FRACTION = 0.02  # a thousand-client round trains 20 clients
+ROUNDS = 1
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def _run_child(num_clients: int, lazy: bool) -> dict:
+    """One (count, mode) measurement in an isolated interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC_DIR)
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child",
+         str(num_clients), "1" if lazy else "0"],
+        capture_output=True, text=True, env=env, timeout=900)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"child (clients={num_clients}, lazy={lazy}) failed:\n"
+            f"{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _child_main(num_clients: int, lazy: bool) -> None:
+    """Build the federation, run ROUNDS trained rounds, report JSON."""
+    import numpy as np
+
+    from repro.core import ConstraintMaskBuilder, RecoveryModelConfig
+    from repro.core.lte import LTEModel
+    from repro.core.training import TrainingConfig
+    from repro.data import TrajectoryDataset, geolife_like
+    from repro.federated import (
+        FederatedConfig,
+        FederatedTrainer,
+        build_federation,
+    )
+
+    # 40 x 50 trajectories: enough to give 1000 iid clients a non-empty
+    # train split each, cheap enough that the dataset itself is noise
+    # next to the per-client model/optimizer state being measured.
+    world = geolife_like(num_drivers=40, trajectories_per_driver=50,
+                         points_per_trajectory=17, seed=7)
+    dataset = TrajectoryDataset.from_matched(world.matched, world.grid,
+                                             world.network, keep_ratio=0.25)
+    config = RecoveryModelConfig(
+        num_cells=dataset.num_cells, num_segments=dataset.num_segments,
+        cell_emb_dim=16, seg_emb_dim=16, hidden_size=48,
+        num_st_blocks=2, dropout=0.0, bbox=world.network.bounding_box(),
+    )
+    clients, global_test = build_federation(world, num_clients=num_clients,
+                                            keep_ratio=0.25, scheme="iid")
+    mask_builder = ConstraintMaskBuilder(world.network, radius=500.0)
+    fed_config = FederatedConfig(
+        rounds=ROUNDS, client_fraction=CLIENT_FRACTION, local_epochs=1,
+        use_meta=False, lazy_clients=lazy,
+        training=TrainingConfig(batch_size=16),
+    )
+
+    build_start = time.perf_counter()
+    trainer = FederatedTrainer(
+        lambda: LTEModel(config, np.random.default_rng(5)),
+        clients, mask_builder, fed_config, global_test, seed=0,
+    )
+    build_seconds = time.perf_counter() - build_start
+    round_start = time.perf_counter()
+    result = trainer.run()
+    round_seconds = (time.perf_counter() - round_start) / ROUNDS
+
+    # The bitwise contract crosses the process boundary as digests:
+    # repr() round-trips floats exactly, and the final global vector is
+    # hashed from its raw float64 bytes.
+    digest = hashlib.sha256()
+    digest.update(repr(result.history).encode())
+    digest.update(np.ascontiguousarray(
+        trainer.server.global_flat(dtype=np.float64)).tobytes())
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    print(json.dumps({
+        "clients": num_clients,
+        "lazy": lazy,
+        "trained_clients": len(result.history[0].completed_clients),
+        "build_seconds": build_seconds,
+        "round_seconds": round_seconds,
+        "peak_rss_mb": peak_rss_mb,
+        "final_accuracy": result.history[-1].global_accuracy,
+        "digest": digest.hexdigest(),
+    }))
+
+
+if __name__ == "__main__" and "--child" in sys.argv:
+    _child_main(int(sys.argv[2]), sys.argv[3] == "1")
+    sys.exit(0)
+
+
+import pytest  # noqa: E402  (child mode must not import pytest)
+
+from conftest import publish, update_bench  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+
+def test_client_scale():
+    rows = []
+    for num_clients in CLIENT_COUNTS:
+        eager = _run_child(num_clients, lazy=False)
+        lazy = _run_child(num_clients, lazy=True)
+        assert lazy["digest"] == eager["digest"], (
+            f"lazy and eager histories diverged at {num_clients} clients")
+        rows.append({
+            "clients": num_clients,
+            "trained_clients": eager["trained_clients"],
+            "eager_rss_mb": eager["peak_rss_mb"],
+            "lazy_rss_mb": lazy["peak_rss_mb"],
+            "rss_ratio": eager["peak_rss_mb"] / lazy["peak_rss_mb"],
+            "eager_build_seconds": eager["build_seconds"],
+            "lazy_build_seconds": lazy["build_seconds"],
+            "eager_round_seconds": eager["round_seconds"],
+            "lazy_round_seconds": lazy["round_seconds"],
+            "final_accuracy": lazy["final_accuracy"],
+            "bitwise_identical": True,
+        })
+
+    lines = [
+        f"Client scale: one trained round, client_fraction={CLIENT_FRACTION}"
+        f" (lazy == eager bitwise at every rung)",
+        "",
+        "clients  trained  eager RSS  lazy RSS  ratio  "
+        "eager round  lazy round",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['clients']:>7}  {row['trained_clients']:>7}  "
+            f"{row['eager_rss_mb']:>8.1f}M  {row['lazy_rss_mb']:>7.1f}M  "
+            f"{row['rss_ratio']:>4.1f}x  "
+            f"{row['eager_round_seconds']:>10.2f}s  "
+            f"{row['lazy_round_seconds']:>9.2f}s")
+    lines.append("")
+    lines.append(f"memory gate: lazy cuts peak RSS >= {MEMORY_GATE}x at "
+                 f"500+ clients")
+    publish("client_scale", "\n".join(lines))
+    update_bench({"client_scale": {
+        "client_fraction": CLIENT_FRACTION,
+        "rounds": ROUNDS,
+        "memory_gate": MEMORY_GATE,
+        "ladder": rows,
+    }})
+
+    # The acceptance gates: the thousand-client trained round completed
+    # (the rows exist and trained clients uploaded), and lazy cuts peak
+    # RSS by the gate factor wherever eager pays per-client state.
+    top = rows[-1]
+    assert top["clients"] == 1000 and top["trained_clients"] >= 1
+    for row in rows:
+        if row["clients"] >= 500:
+            assert row["rss_ratio"] >= MEMORY_GATE, (
+                f"lazy saves only {row['rss_ratio']:.1f}x at "
+                f"{row['clients']} clients (gate {MEMORY_GATE}x)")

@@ -152,6 +152,7 @@ class TrajectoryDataset:
         self._obs_feat_cache: dict[int, np.ndarray] = {}
         # Collated-Batch memo, LRU-bounded, keyed by example-index tuple.
         self._batch_cache: "OrderedDict[tuple[int, ...], Batch]" = OrderedDict()
+        self._batch_cache_cap = _BATCH_CACHE_CAP
 
     def __len__(self) -> int:
         return len(self.examples)
@@ -225,6 +226,24 @@ class TrajectoryDataset:
         """Drop memoised collated batches (after mutating ``examples``)."""
         self._batch_cache.clear()
 
+    def set_batch_cache_limit(self, limit: int) -> None:
+        """Bound this dataset's collation memo to ``limit`` entries.
+
+        The module default (``_BATCH_CACHE_CAP``) is sized for a
+        handful of datasets; a thousand-client federation holds 3N + 1
+        of them, so the per-dataset budget becomes a hidden memory
+        multiplier — ``FederatedConfig.collation_cache_entries``
+        forwards here to shrink it.  Lowering the limit evicts
+        immediately (LRU order); caching itself cannot be disabled
+        (``limit >= 1``) because :meth:`full_batch` consumers rely on
+        the shared read-only batch.
+        """
+        if limit < 1:
+            raise ValueError("batch cache limit must be >= 1")
+        self._batch_cache_cap = int(limit)
+        while len(self._batch_cache) > self._batch_cache_cap:
+            self._batch_cache.popitem(last=False)
+
     def _collate_cached(self, key: tuple[int, ...]) -> Batch:
         """Collate the examples at ``key``, memoising per index tuple.
 
@@ -241,7 +260,7 @@ class TrajectoryDataset:
         for spec in fields(Batch):  # shared across callers: freeze
             getattr(batch, spec.name).flags.writeable = False
         self._batch_cache[key] = batch
-        while len(self._batch_cache) > _BATCH_CACHE_CAP:
+        while len(self._batch_cache) > self._batch_cache_cap:
             self._batch_cache.popitem(last=False)
         return batch
 

@@ -1,6 +1,16 @@
 """``repro.federated`` - client/server FedAvg orchestration for LightTR."""
 
 from .aggregation import average_flat, average_states, fedavg
+from .arena import (
+    ClientShard,
+    LazyClientList,
+    ModelArena,
+    forced_lazy_from_env,
+    get_lazy_clients,
+    resolve_lazy_clients,
+    set_lazy_clients,
+    use_lazy_clients,
+)
 from .asynchrony import (
     AsyncAggregatorState,
     LatencyModel,
@@ -41,6 +51,7 @@ from .faults import (
 )
 from .privacy import GaussianMechanism
 from .runner import (
+    ArenaRunner,
     ClientFailure,
     ProcessPoolRunner,
     RetryPolicy,
@@ -50,9 +61,10 @@ from .runner import (
     RoundRunner,
     RoundTask,
     SerialRunner,
+    TaskExecutor,
     WorkerSetup,
 )
-from .server import FederatedServer
+from .server import AggregationSlab, FederatedServer
 from .trainer import (
     FederatedConfig,
     FederatedResult,
@@ -77,10 +89,14 @@ __all__ = [
     "forced_plan_from_env", "resolve_fault_plan",
     "FederatedCheckpoint", "checkpoint_path", "latest_checkpoint",
     "GaussianMechanism",
-    "RoundRunner", "SerialRunner", "ProcessPoolRunner",
+    "ClientShard", "LazyClientList", "ModelArena",
+    "forced_lazy_from_env", "get_lazy_clients", "resolve_lazy_clients",
+    "set_lazy_clients", "use_lazy_clients",
+    "RoundRunner", "SerialRunner", "ArenaRunner", "ProcessPoolRunner",
+    "TaskExecutor",
     "RoundTask", "RoundResult", "RoundExecutionError", "WorkerSetup",
     "RetryPolicy", "ClientFailure", "RoundExecution",
-    "FederatedServer",
+    "FederatedServer", "AggregationSlab",
     "FederatedConfig", "FederatedTrainer", "FederatedResult", "RoundRecord",
     "build_federation", "train_isolated_then_average",
 ]

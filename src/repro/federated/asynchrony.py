@@ -171,6 +171,12 @@ class AsyncAggregatorState:
         return ({u.client_id for u in self.in_flight}
                 | {u.client_id for u in self.buffer})
 
+    def take_buffer(self) -> list[PendingUpload]:
+        """Drain the buffer for one flush: returns the buffered uploads
+        in arrival order and leaves the buffer empty."""
+        entries, self.buffer = self.buffer, []
+        return entries
+
 
 def staleness_weights(base_weights, staleness, alpha: float) -> np.ndarray:
     """FedBuff-style aggregation weights: ``base / (1 + s)^alpha``.

@@ -65,7 +65,14 @@ __all__ = ["FederatedCheckpoint", "checkpoint_path", "latest_checkpoint"]
 #:     the async aggregator state.  Version-1 files lack both, so a
 #:     resumed run could not reproduce the uninterrupted byte/flush
 #:     stream — they are rejected with a clear error.
-CHECKPOINT_VERSION = 2
+#: 3 — lazy-clients support (PR 10): ``client_params`` entries may be
+#:     ``None`` (a shard that never trained still holds the pristine
+#:     factory parameters, so persisting ``N`` identical copies would
+#:     defeat the lazy memory model) and ``lazy_clients`` records the
+#:     client mode so a resume cannot silently mix shard state with
+#:     live-client state.  Version-2 files still load — they are
+#:     always eager with every parameter vector present.
+CHECKPOINT_VERSION = 3
 
 
 @dataclass
@@ -76,7 +83,10 @@ class FederatedCheckpoint:
     next_round: int
     global_flat: np.ndarray  # exact float64 global parameters
     client_sessions: tuple[ClientSessionState, ...]
-    client_params: tuple[np.ndarray, ...]  # exact float64 per-client params
+    # Exact float64 per-client params; a ``None`` entry (version >= 3,
+    # lazy mode only) marks a shard still holding the pristine factory
+    # initialisation.
+    client_params: "tuple[np.ndarray | None, ...]"
     trainer_rng_state: dict  # client-selection generator
     teacher_flat: np.ndarray | None
     history: list = field(default_factory=list)  # RoundRecord entries
@@ -85,6 +95,7 @@ class FederatedCheckpoint:
     pool_failures: int = 0  # consecutive whole-pool failures so far
     downlink_residual: np.ndarray | None = None  # server-side error feedback
     async_state: AsyncAggregatorState | None = None  # None = synchronous run
+    lazy_clients: bool = False  # True = client state lives in shards
     version: int = CHECKPOINT_VERSION
 
     def save(self, path: str) -> str:
@@ -103,10 +114,14 @@ class FederatedCheckpoint:
             checkpoint = pickle.load(handle)
         if not isinstance(checkpoint, cls):
             raise ValueError(f"{path} is not a FederatedCheckpoint")
-        if checkpoint.version != CHECKPOINT_VERSION:
+        if checkpoint.version not in (2, CHECKPOINT_VERSION):
             raise ValueError(
                 f"checkpoint {path} has version {checkpoint.version}, "
-                f"this build reads version {CHECKPOINT_VERSION}")
+                f"this build reads versions 2 and {CHECKPOINT_VERSION}")
+        if not hasattr(checkpoint, "lazy_clients"):
+            # Version-2 pickles restore __dict__ directly and predate
+            # the field; they were always taken from eager runs.
+            checkpoint.lazy_clients = False
         return checkpoint
 
 

@@ -270,11 +270,27 @@ def resolve_exchange_codec(codec: "Codec | str | None") -> Codec:
     raise TypeError(f"cannot interpret exchange codec {codec!r}")
 
 
-def decode_payload(payload) -> np.ndarray:
-    """Decode a wire payload to a flat vector (ndarrays pass through)."""
+def decode_payload(payload, out: np.ndarray | None = None) -> np.ndarray:
+    """Decode a wire payload to a flat vector (ndarrays pass through).
+
+    ``out`` — when given and shape/dtype-compatible — receives the
+    decoded values in place and is returned, so hot decode loops (slab
+    staging, arena hydration) can reuse one buffer instead of
+    allocating a fresh ``(P,)`` vector per payload.  Decoding is
+    bitwise identical either way: the same values land in ``out``.
+    """
     if isinstance(payload, EncodedPayload):
-        return codec_by_name(payload.codec).decode(payload)
-    return np.asarray(payload)
+        decoded = codec_by_name(payload.codec).decode(payload)
+    else:
+        decoded = np.asarray(payload)
+    if out is not None:
+        if out.shape != decoded.shape:
+            raise ValueError(
+                f"out buffer shape {out.shape} != payload shape "
+                f"{decoded.shape}")
+        np.copyto(out, decoded)
+        return out
+    return decoded
 
 
 def encode_with_feedback(codec: Codec, flat: np.ndarray,

@@ -91,6 +91,7 @@ from ..core.distill import MetaKnowledgeDistiller
 from ..core.mask import ConstraintMaskBuilder
 from ..core.training import TrainingConfig
 from ..nn.flatten import FlatParameterSpace
+from .arena import ModelArena
 from .client import ClientData, ClientSessionState, FederatedClient
 from .communication import (
     EncodedPayload,
@@ -103,8 +104,9 @@ from .faults import ClientFaultError, FaultEvent, FaultPlan
 
 __all__ = [
     "RoundTask", "RoundResult", "RoundExecutionError", "WorkerSetup",
-    "RetryPolicy", "ClientFailure", "RoundExecution",
-    "RoundRunner", "SerialRunner", "ProcessPoolRunner", "preferred_start_method",
+    "RetryPolicy", "ClientFailure", "RoundExecution", "TaskExecutor",
+    "RoundRunner", "SerialRunner", "ArenaRunner", "ProcessPoolRunner",
+    "preferred_start_method",
 ]
 
 
@@ -130,7 +132,15 @@ def preferred_start_method() -> str | None:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class WorkerSetup:
-    """Everything a worker rebuilds once and reuses across rounds."""
+    """Everything a worker rebuilds once and reuses across rounds.
+
+    ``teacher_flat`` is the frozen teacher's flat float64 snapshot,
+    shipped **once** with the setup instead of riding on every task:
+    tasks built after the teacher is trained set
+    :attr:`RoundTask.use_setup_teacher` and carry ``teacher_flat=None``,
+    so a thousand-task round pickles the ``(P,)`` teacher exactly once
+    per worker instead of once per task.
+    """
 
     model_factory: Callable[[], RecoveryModel]
     client_data: tuple[ClientData, ...]
@@ -140,6 +150,7 @@ class WorkerSetup:
     lt: float = 0.4
     dynamic_lambda: bool = True
     fault_plan: FaultPlan | None = None
+    teacher_flat: np.ndarray | None = None  # shared distillation substrate
 
 
 @dataclass(frozen=True)
@@ -172,6 +183,8 @@ class RoundTask:
     round_index: int = 0  # fault-plan coordinate
     exchange_codec: str = "identity"  # uplink/downlink wire codec name
     defer_stragglers: bool = False  # async mode: no real sleeps
+    use_setup_teacher: bool = False  # distill from WorkerSetup.teacher_flat
+    # (shipped once with the setup) instead of a per-task teacher copy
 
 
 @dataclass(frozen=True)
@@ -443,12 +456,12 @@ class SerialRunner(RoundRunner):
 # --- worker-process side of the pool backend ---------------------------
 # One module-global per worker process, installed by the pool
 # initializer: the world is rebuilt once and reused for every task.
-_WORKER: "_WorkerState | None" = None
+_WORKER: "TaskExecutor | None" = None
 
 
 def _init_worker(setup: WorkerSetup) -> None:
     global _WORKER
-    _WORKER = _WorkerState(setup)
+    _WORKER = TaskExecutor(setup)
 
 
 def _execute_task(task: RoundTask, attempt: int = 0,
@@ -457,33 +470,40 @@ def _execute_task(task: RoundTask, attempt: int = 0,
     return _WORKER.execute(task, attempt, deadline)
 
 
-class _WorkerState:
-    """Per-worker-process world: one model (+ one teacher), the mask
-    builder, and per-client executors, built lazily and reused."""
+class TaskExecutor:
+    """Executes :class:`RoundTask`\\ s against a bounded model arena.
 
-    def __init__(self, setup: WorkerSetup):
+    This is the per-worker-process world of the pool backend *and* the
+    in-process engine of :class:`ArenaRunner`: one
+    :class:`~repro.federated.arena.ModelArena` slot (plus one teacher)
+    serves every client the executor ever sees.  A checkout rebinds the
+    slot to the task's client id/data; the session restore + broadcast
+    then fully hydrate it, so the slot's previous occupant can never
+    leak state into the next task.  Compared to the historical
+    per-client client cache this caps worker memory at
+    ``O(arena_size * P)`` instead of ``O(clients_seen * P)`` — the
+    difference between tens and thousands of trainable clients.
+    """
+
+    def __init__(self, setup: WorkerSetup, arena: ModelArena | None = None):
         self.setup = setup
-        self.model = setup.model_factory()
         self.mask_builder = setup.mask_builder
-        self.clients: dict[int, FederatedClient] = {}
+        self.arena = (arena if arena is not None
+                      else ModelArena(setup.model_factory, setup.mask_builder,
+                                      setup.training, size=1))
         self.teacher: RecoveryModel | None = None
         self.teacher_space: FlatParameterSpace | None = None
 
-    def _client(self, client_id: int) -> FederatedClient:
-        client = self.clients.get(client_id)
-        if client is None:
-            data = self.setup.client_data[client_id]
-            # All of this worker's clients share the single model: each
-            # task overwrites parameters (global broadcast) and
-            # optimiser/RNG state (session snapshot) anyway.
-            client = FederatedClient(
-                client_id=client_id, data=data, model=self.model,
-                mask_builder=self.mask_builder, training=self.setup.training,
-                rng=np.random.default_rng(0),  # replaced by the session state
-            )
-            self.mask_builder.warm(data.train)
-            self.clients[client_id] = client
-        return client
+    def _resolve_teacher_flat(self, task: RoundTask) -> np.ndarray | None:
+        if task.teacher_flat is not None:
+            return task.teacher_flat
+        if task.use_setup_teacher:
+            if self.setup.teacher_flat is None:
+                raise RuntimeError(
+                    "task asks for the setup teacher but WorkerSetup "
+                    "carries none (teacher_flat=None)")
+            return self.setup.teacher_flat
+        return None
 
     def _distiller(self, teacher_flat: np.ndarray | None
                    ) -> MetaKnowledgeDistiller | None:
@@ -499,17 +519,17 @@ class _WorkerState:
         )
 
     def _ensure_model_dtype(self) -> None:
-        """Align the worker's long-lived models with the active compute
-        dtype.
+        """Align the executor's long-lived models with the active
+        compute dtype.
 
-        The worker model is built once at pool start-up; if the parent
-        flips the compute dtype between rounds, later tasks would run a
-        stale-precision model (float32 inputs against float64 weights
-        silently upcast every kernel).  Casting parameters in place
-        keeps every existing FlatParameterSpace view valid.
+        Arena slots (and the teacher) are built once and reused; if the
+        parent flips the compute dtype between rounds, later tasks would
+        run a stale-precision model (float32 inputs against float64
+        weights silently upcast every kernel).  Casting parameters in
+        place keeps every existing FlatParameterSpace view valid.
         """
         dtype = nn.get_compute_dtype()
-        for model in (self.model, self.teacher):
+        for model in (*self.arena.models(), self.teacher):
             if model is None:
                 continue
             for p in model.parameters():
@@ -536,25 +556,34 @@ class _WorkerState:
             plan = self.setup.fault_plan
             fault = _inject_pre_train(plan, task, attempt, deadline)
             self._ensure_model_dtype()
-            client = self._client(task.client_id)
-            if task.session is not None:
-                client.load_session_state(task.session)
-            client.receive_global_flat(decode_payload(task.global_flat))
-            distiller = self._distiller(task.teacher_flat)
-            flat, metrics = client.local_train_flat(task.epochs, distiller)
-            upload, nbytes, params_flat = _encode_upload(task, client, flat)
-            if params_flat is None and np.dtype(task.exchange_dtype) != np.float64:
-                params_flat = client.flat_parameters(dtype=np.float64)
-            upload, corrupted, delay = _apply_post_fault(plan, task, attempt,
-                                                         fault, upload)
-            if corrupted and params_flat is None:
-                # Only the wire payload is poisoned: ship the exact
-                # parameters so sync-back matches a serial client,
-                # whose local model never saw the corruption.
-                params_flat = client.flat_parameters(dtype=np.float64)
-            return RoundResult(task.client_id, upload, metrics,
-                               client.session_state(), params_flat,
-                               payload_bytes=nbytes, straggler_delay=delay)
+            client = self.arena.checkout(task.client_id,
+                                         self.setup.client_data[task.client_id])
+            try:
+                # Hydrate fully: session (or the pristine template for
+                # session-less in-process execution — deterministic zero
+                # state, matching a freshly built client) + broadcast.
+                session = (task.session if task.session is not None
+                           else self.arena.pristine_session)
+                client.load_session_state(session)
+                client.receive_global_flat(decode_payload(task.global_flat))
+                distiller = self._distiller(self._resolve_teacher_flat(task))
+                flat, metrics = client.local_train_flat(task.epochs, distiller)
+                upload, nbytes, params_flat = _encode_upload(task, client, flat)
+                if (params_flat is None
+                        and np.dtype(task.exchange_dtype) != np.float64):
+                    params_flat = client.flat_parameters(dtype=np.float64)
+                upload, corrupted, delay = _apply_post_fault(
+                    plan, task, attempt, fault, upload)
+                if corrupted and params_flat is None:
+                    # Only the wire payload is poisoned: ship the exact
+                    # parameters so sync-back matches a serial client,
+                    # whose local model never saw the corruption.
+                    params_flat = client.flat_parameters(dtype=np.float64)
+                return RoundResult(task.client_id, upload, metrics,
+                                   client.session_state(), params_flat,
+                                   payload_bytes=nbytes, straggler_delay=delay)
+            finally:
+                self.arena.checkin(client)
         finally:
             nn.set_fused_kernels(previous[0])
             nn.set_sparse_masks(previous[1])
@@ -562,6 +591,67 @@ class _WorkerState:
             nn.set_default_dtype(previous[3])
             nn.set_compute_dtype(previous[4])
             nn.set_backend(previous[5])
+
+
+#: Backwards-compatible alias (tests patch ``runner._WorkerState``).
+_WorkerState = TaskExecutor
+
+
+class ArenaRunner(RoundRunner):
+    """In-process round execution through a bounded model arena.
+
+    The lazy-clients dual of :class:`SerialRunner`: instead of running
+    against ``N`` live client objects it drives one
+    :class:`TaskExecutor` (sharing the trainer's arena), so tasks are
+    executed exactly like a pool worker would — session hydration,
+    flag re-assertion, fault injection — but in-process and with at
+    most ``arena_size`` live models.  ``ships_state`` is True: every
+    task carries its shard's session and every result returns the
+    trained snapshot for the trainer to store back into the shard.
+    """
+
+    ships_state = True
+    fallible = False
+
+    def __init__(self, setup: WorkerSetup, arena: ModelArena | None = None):
+        self.executor = TaskExecutor(setup, arena)
+
+    def run_round(self, tasks: Sequence[RoundTask],
+                  distiller: MetaKnowledgeDistiller | None = None
+                  ) -> list[RoundResult]:
+        # ``distiller`` is unused: the executor rebuilds one from the
+        # teacher snapshot, exactly like a pool worker.
+        return [self.executor.execute(task) for task in tasks]
+
+    def run_round_tolerant(self, tasks: Sequence[RoundTask],
+                           distiller: MetaKnowledgeDistiller | None = None,
+                           policy: RetryPolicy | None = None
+                           ) -> RoundExecution:
+        policy = policy if policy is not None else RetryPolicy()
+        execution = RoundExecution(results=[])
+        for task in tasks:
+            attempt = 0
+            while True:
+                try:
+                    execution.results.append(
+                        self.executor.execute(task, attempt, policy.deadline))
+                    break
+                except ClientFaultError as exc:
+                    # Retries are exact: the task's session snapshot is
+                    # reloaded on re-execution, and a finally-failed
+                    # client needs no restore at all — its shard was
+                    # never touched.
+                    if attempt < policy.retries and task.session is not None:
+                        attempt += 1
+                        if policy.backoff:
+                            time.sleep(policy.backoff * attempt)
+                        continue
+                    execution.failures.append(ClientFailure(
+                        task.client_id, exc.kind, attempt + 1, exc.message))
+                    break
+            if attempt:
+                execution.retry_counts[task.client_id] = attempt
+        return execution
 
 
 class ProcessPoolRunner(RoundRunner):

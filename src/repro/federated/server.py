@@ -20,12 +20,58 @@ from ..core.base import RecoveryModel
 from ..nn.flatten import FlatParameterSpace
 from .aggregation import average_flat, average_states
 
-__all__ = ["FederatedServer"]
+__all__ = ["FederatedServer", "AggregationSlab", "DEFAULT_MAX_UPLOAD_NORM"]
 
 #: Default ceiling on the L2 norm of an accepted upload.  Healthy
 #: uploads sit orders of magnitude below this; a norm-blowup corruption
 #: (:data:`repro.federated.faults.NORM_BLOWUP`) sits orders above.
 DEFAULT_MAX_UPLOAD_NORM = 1e6
+
+
+class AggregationSlab:
+    """A preallocated, grow-only ``(capacity, P)`` float64 staging
+    buffer for one round's uploads.
+
+    The trainer decodes every accepted upload straight into a slab row
+    instead of keeping ``C`` per-client float64 vectors alive; finite
+    validation and the FedAvg reduction then run over one contiguous
+    2-D array.  Because :func:`~repro.federated.aggregation.average_flat`
+    already upcasts its stacked input to a C-contiguous float64 matrix,
+    feeding it a slab view is **bitwise identical** to the historical
+    stack-of-vectors path — float32→float64 casts are exact and the
+    reduction sees the same memory layout either way.
+
+    The slab never shrinks: growth is geometric on capacity and linear
+    on ``P`` changes (only relevant to tests that rebuild worlds), so a
+    steady-state trainer allocates it once.
+    """
+
+    def __init__(self, num_parameters: int, capacity: int = 0):
+        if num_parameters < 1:
+            raise ValueError("slab needs at least one parameter column")
+        self.num_parameters = int(num_parameters)
+        capacity = max(1, int(capacity))
+        self._buf = np.empty((capacity, self.num_parameters), dtype=np.float64)
+
+    @property
+    def capacity(self) -> int:
+        return self._buf.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing buffer (for memory accounting)."""
+        return self._buf.nbytes
+
+    def rows(self, count: int) -> np.ndarray:
+        """A writable ``(count, P)`` float64 view, growing the backing
+        buffer if this round samples more clients than any before."""
+        if count < 0:
+            raise ValueError(f"cannot stage {count} rows")
+        if count > self._buf.shape[0]:
+            grown = max(count, 2 * self._buf.shape[0])
+            self._buf = np.empty((grown, self.num_parameters),
+                                 dtype=np.float64)
+        return self._buf[:count]
 
 
 class FederatedServer:
@@ -108,6 +154,74 @@ class FederatedServer:
             if norm > max_norm:
                 return f"norm {norm:.3g} exceeds {max_norm:g}"
         return None
+
+    def screen_upload(self, vector) -> str | None:
+        """The cheap pre-slab half of :meth:`validate_upload`.
+
+        Shape and dtype must be checked *before* an upload is copied
+        into a slab row (a wrong-shaped vector cannot be staged at
+        all); finiteness and norm are checked afterwards over the whole
+        slab by :meth:`validate_rows`.  The reason strings match
+        :meth:`validate_upload` exactly, so rejection records are
+        identical whichever path screened them.
+        """
+        arr = np.asarray(vector)
+        expected = self._space.total_size
+        if arr.shape != (expected,):
+            return f"shape {arr.shape} != ({expected},)"
+        if not np.issubdtype(arr.dtype, np.floating):
+            return f"non-float dtype {arr.dtype}"
+        return None
+
+    def validate_rows(self, matrix: np.ndarray,
+                      max_norm: float | None = DEFAULT_MAX_UPLOAD_NORM
+                      ) -> "list[str | None]":
+        """Per-row rejection reasons for staged uploads (None = accept).
+
+        The finiteness test is vectorised over the whole ``(C, P)``
+        slab; the norm is computed per row over the 1-D view because
+        ``np.linalg.norm(matrix, axis=1)`` reduces in a different
+        association order than the per-vector call and would not be
+        bitwise-comparable with :meth:`validate_upload`'s reasons.
+        Rows are assumed pre-screened (:meth:`screen_upload`), hence
+        float64 of the right width.
+        """
+        finite_rows = np.isfinite(matrix).all(axis=1)
+        reasons: "list[str | None]" = []
+        for i, row in enumerate(matrix):
+            if not finite_rows[i]:
+                bad = int(row.size - np.isfinite(row).sum())
+                reasons.append(f"{bad} non-finite entries")
+                continue
+            if max_norm is not None:
+                norm = float(np.linalg.norm(row))
+                if norm > max_norm:
+                    reasons.append(f"norm {norm:.3g} exceeds {max_norm:g}")
+                    continue
+            reasons.append(None)
+        return reasons
+
+    def aggregate_rows(self, matrix: np.ndarray,
+                       weights: list[float] | None = None) -> np.ndarray:
+        """Average a staged ``(C, P)`` slab view into the global model.
+
+        The zero-copy dual of :meth:`aggregate_flat`: the rows were
+        decoded straight into the slab, so no stacking happens here —
+        :func:`average_flat` reduces the float64 matrix as-is, which is
+        bitwise identical to stacking ``C`` separate vectors first.
+        Rows must already have passed :meth:`validate_rows`.
+        """
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError(
+                f"cannot aggregate slab of shape {np.shape(matrix)}; "
+                f"need a non-empty (C, P) matrix")
+        if matrix.shape[1] != self._space.total_size:
+            raise ValueError(
+                f"slab width {matrix.shape[1]} != global parameter "
+                f"count {self._space.total_size}")
+        new_flat = average_flat(matrix, weights)
+        self._space.set_flat(new_flat)
+        return new_flat
 
     def aggregate_flat(self, vectors: list[np.ndarray],
                        weights: list[float] | None = None) -> np.ndarray:

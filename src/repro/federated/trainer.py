@@ -54,7 +54,7 @@ of ``(round, client, attempt)``, not of scheduling.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -69,6 +69,7 @@ from ..data.dataset import TrajectoryDataset
 from ..data.partition import partition_dataset
 from ..data.synthetic import SyntheticDataset
 from ..nn.flatten import FlatParameterSpace
+from .arena import ClientShard, LazyClientList, ModelArena, resolve_lazy_clients
 from .asynchrony import (
     AsyncAggregatorState,
     LatencyModel,
@@ -88,6 +89,7 @@ from .communication import (
 )
 from .faults import FaultPlan, FaultSpec, resolve_fault_plan
 from .runner import (
+    ArenaRunner,
     ClientFailure,
     ProcessPoolRunner,
     RetryPolicy,
@@ -98,7 +100,7 @@ from .runner import (
     SerialRunner,
     WorkerSetup,
 )
-from .server import DEFAULT_MAX_UPLOAD_NORM, FederatedServer
+from .server import AggregationSlab, DEFAULT_MAX_UPLOAD_NORM, FederatedServer
 
 __all__ = ["FederatedConfig", "RoundRecord", "FederatedResult",
            "build_federation", "FederatedTrainer", "train_isolated_then_average"]
@@ -137,6 +139,10 @@ class FederatedConfig:
     clients_per_round: float | None = None  # async sampling fraction
     # (defaults to client_fraction); sampled from *idle* clients only
     latency: "LatencyModel | LatencySpec | str | None" = None  # arrival model
+    # --- client-scale knobs (docs/PERFORMANCE.md "Client scale") ---
+    lazy_clients: bool | None = None  # None -> REPRO_LAZY_CLIENTS forcing
+    arena_size: int = 1  # live model/trainer slots in lazy mode
+    collation_cache_entries: int = 0  # per-dataset batch-cache cap (0 = default)
 
     def __post_init__(self):
         if self.rounds < 1:
@@ -164,6 +170,11 @@ class FederatedConfig:
         if (self.clients_per_round is not None
                 and not 0.0 < self.clients_per_round <= 1.0):
             raise ValueError("clients_per_round must be in (0, 1]")
+        if self.arena_size < 1:
+            raise ValueError("arena_size must be >= 1")
+        if self.collation_cache_entries < 0:
+            raise ValueError(
+                "collation_cache_entries must be >= 0 (0 = dataset default)")
 
 
 @dataclass(frozen=True)
@@ -219,7 +230,9 @@ class FederatedResult:
     history: list[RoundRecord]
     ledger: CommunicationLedger
     teacher_result: TeacherTrainingResult | None
-    clients: list[FederatedClient]
+    # Eager: the live client list.  Lazy: a LazyClientList view that
+    # materialises a client from its shard on indexing.
+    clients: "list[FederatedClient] | LazyClientList"
     global_test: TrajectoryDataset
 
 
@@ -289,19 +302,58 @@ class FederatedTrainer:
                        if config.async_buffer > 0 else None)
 
         self.server = FederatedServer(model_factory())
-        self.clients = [
-            FederatedClient(
-                client_id=i, data=data, model=model_factory(),
-                mask_builder=mask_builder, training=config.training,
-                rng=np.random.default_rng(seed + 101 + i),
-            )
-            for i, data in enumerate(client_data)
-        ]
+        self._client_data = list(client_data)
+        if config.collation_cache_entries:
+            # Bound every dataset's per-chunk collation cache: at
+            # thousand-client scale the default LRU budget, multiplied
+            # by N clients x 3 splits, is a hidden memory multiplier.
+            for data in self._client_data:
+                for split in (data.train, data.valid, data.test):
+                    split.set_batch_cache_limit(config.collation_cache_entries)
+            global_test.set_batch_cache_limit(config.collation_cache_entries)
+        # None defers to the process default (REPRO_LAZY_CLIENTS forcing).
+        self.lazy = resolve_lazy_clients(config.lazy_clients)
+        if self.lazy:
+            # Client count is a data-size problem: each client is a
+            # shard (data + flat session vectors), models live in a
+            # bounded arena, and ``clients`` is a materialise-on-read
+            # view.  The pristine template reproduces the eager
+            # constructor exactly — deterministic factory parameters,
+            # zeroed optimiser moments — and each shard gets the same
+            # seeded batch-shuffle generator an eager client would own.
+            self.arena = ModelArena(model_factory, mask_builder,
+                                    config.training, size=config.arena_size)
+            _, pristine = self.arena.template(self._client_data[0])
+            self.shards = [
+                ClientShard(
+                    client_id=i, data=data,
+                    session=replace(pristine, rng_state=np.random.default_rng(
+                        seed + 101 + i).bit_generator.state),
+                )
+                for i, data in enumerate(self._client_data)
+            ]
+            self.clients = LazyClientList(self)
+        else:
+            self.arena = None
+            self.shards = None
+            self.clients = [
+                FederatedClient(
+                    client_id=i, data=data, model=model_factory(),
+                    mask_builder=mask_builder, training=config.training,
+                    rng=np.random.default_rng(seed + 101 + i),
+                )
+                for i, data in enumerate(self._client_data)
+            ]
+        # One round's uploads stage into a preallocated float64 slab;
+        # decode, validation, and the FedAvg reduction run over one
+        # contiguous (C, P) matrix instead of C boxed vectors.
+        self._slab = AggregationSlab(self.server.num_parameters)
         self.workers = config.workers if workers is None else workers
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = serial)")
         self._runner = runner  # explicit injection wins; else built lazily
         self._teacher_flat: np.ndarray | None = None
+        self._setup_has_teacher = False  # set when a WorkerSetup is built
         self._last_accuracy: float | None = None  # held when quorum fails
         self._pool_failures = 0  # consecutive whole-pool failures
 
@@ -309,15 +361,22 @@ class FederatedTrainer:
     # round runner plumbing
     # ------------------------------------------------------------------
     def _worker_setup(self) -> WorkerSetup:
+        # The teacher rides the setup (shipped once per worker at pool
+        # start-up), not each task: tasks built afterwards carry the
+        # ``use_setup_teacher`` sentinel instead of a per-task (P,)
+        # teacher copy.  Runners are built after teacher pre-training,
+        # so the snapshot — when the run has one — exists by now.
+        self._setup_has_teacher = self._teacher_flat is not None
         return WorkerSetup(
             model_factory=self.model_factory,
-            client_data=tuple(client.data for client in self.clients),
+            client_data=tuple(self._client_data),
             mask_builder=self.mask_builder,
             training=self.config.training,
             lambda0=self.config.lambda0,
             lt=self.config.lt,
             dynamic_lambda=self.config.dynamic_lambda,
             fault_plan=self.fault_plan,
+            teacher_flat=self._teacher_flat,
         )
 
     def _get_runner(self) -> RoundRunner:
@@ -325,8 +384,13 @@ class FederatedTrainer:
             if self.workers > 0:
                 self._runner = ProcessPoolRunner(
                     self._worker_setup(),
-                    workers=min(self.workers, len(self.clients)),
+                    workers=min(self.workers, len(self._client_data)),
                 )
+            elif self.lazy:
+                # Serial lazy rounds run through the trainer's own
+                # arena — pool-worker semantics (full hydration per
+                # task), at most ``arena_size`` live models.
+                self._runner = ArenaRunner(self._worker_setup(), self.arena)
             else:
                 self._runner = SerialRunner(self.clients, self.fault_plan)
         return self._runner
@@ -335,6 +399,13 @@ class FederatedTrainer:
         return RetryPolicy(retries=self.config.task_retries,
                            deadline=self.config.task_deadline,
                            backoff=self.config.task_backoff)
+
+    def _serial_fallback_runner(self) -> RoundRunner:
+        """The in-process runner a broken pool degrades to (arena-backed
+        in lazy mode — live clients don't exist there)."""
+        if self.lazy:
+            return ArenaRunner(self._worker_setup(), self.arena)
+        return SerialRunner(self.clients, self.fault_plan)
 
     def _handle_pool_failure(self, reason: Exception) -> RoundRunner:
         """One whole-pool failure: re-run this round serially, keep the
@@ -348,7 +419,7 @@ class FederatedTrainer:
             f"serial execution for this round", RuntimeWarning,
             stacklevel=3,
         )
-        return SerialRunner(self.clients, self.fault_plan)
+        return self._serial_fallback_runner()
 
     def _fall_back_to_serial(self, reason: Exception) -> RoundRunner:
         warnings.warn(
@@ -358,7 +429,7 @@ class FederatedTrainer:
         )
         if self._runner is not None:
             self._runner.close()
-        self._runner = SerialRunner(self.clients, self.fault_plan)
+        self._runner = self._serial_fallback_runner()
         return self._runner
 
     # ------------------------------------------------------------------
@@ -377,10 +448,18 @@ class FederatedTrainer:
                  ledger: CommunicationLedger,
                  history: list[RoundRecord]) -> int:
         """Rewind every mutable input of the remaining rounds."""
-        if len(checkpoint.client_sessions) != len(self.clients):
+        if len(checkpoint.client_sessions) != len(self._client_data):
             raise ValueError(
                 f"checkpoint has {len(checkpoint.client_sessions)} clients, "
-                f"trainer has {len(self.clients)} — not the same federation")
+                f"trainer has {len(self._client_data)} — not the same "
+                f"federation")
+        if checkpoint.lazy_clients != self.lazy:
+            raise ValueError(
+                "checkpoint client mode does not match the trainer: "
+                f"checkpoint is {'lazy' if checkpoint.lazy_clients else 'eager'}"
+                f", trainer is {'lazy' if self.lazy else 'eager'} "
+                "(set FederatedConfig.lazy_clients to the mode the run "
+                "was checkpointed in)")
         expected = self.server.global_flat(dtype=np.float64).size
         if checkpoint.global_flat.size != expected:
             raise ValueError(
@@ -388,11 +467,19 @@ class FederatedTrainer:
                 f"parameters, this trainer's model has {expected} — not the "
                 f"same federation")
         self.server.load_global_flat(checkpoint.global_flat)
-        for client, session, params in zip(self.clients,
-                                           checkpoint.client_sessions,
-                                           checkpoint.client_params):
-            client.receive_global_flat(params)
-            client.load_session_state(session)
+        if self.lazy:
+            for shard, session, params in zip(self.shards,
+                                              checkpoint.client_sessions,
+                                              checkpoint.client_params):
+                shard.session = session
+                shard.params_flat = (None if params is None else
+                                     np.asarray(params, dtype=np.float64))
+        else:
+            for client, session, params in zip(self.clients,
+                                               checkpoint.client_sessions,
+                                               checkpoint.client_params):
+                client.receive_global_flat(params)
+                client.load_session_state(session)
         self._rng.bit_generator.state = checkpoint.trainer_rng_state
         ledger.rounds.extend(checkpoint.ledger_rounds)
         history.extend(checkpoint.history)
@@ -411,12 +498,21 @@ class FederatedTrainer:
 
     def _save_checkpoint(self, next_round: int, ledger: CommunicationLedger,
                          history: list[RoundRecord]) -> str:
+        if self.lazy:
+            # Shards *are* the persistent client state: no live objects
+            # to snapshot, and a never-trained shard stays None (the
+            # pristine template) instead of N identical copies.
+            sessions = tuple(shard.session for shard in self.shards)
+            params = tuple(shard.params_flat for shard in self.shards)
+        else:
+            sessions = tuple(c.session_state() for c in self.clients)
+            params = tuple(c.flat_parameters(dtype=np.float64)
+                           for c in self.clients)
         checkpoint = FederatedCheckpoint(
             next_round=next_round,
             global_flat=self.server.global_flat(dtype=np.float64),
-            client_sessions=tuple(c.session_state() for c in self.clients),
-            client_params=tuple(c.flat_parameters(dtype=np.float64)
-                                for c in self.clients),
+            client_sessions=sessions,
+            client_params=params,
             trainer_rng_state=self._rng.bit_generator.state,
             teacher_flat=self._teacher_flat,
             history=list(history),
@@ -426,6 +522,7 @@ class FederatedTrainer:
             downlink_residual=(None if self._downlink_residual is None
                                else self._downlink_residual.copy()),
             async_state=self._async,
+            lazy_clients=self.lazy,
         )
         return checkpoint.save(
             checkpoint_path(self.config.checkpoint_dir, next_round))
@@ -441,6 +538,64 @@ class FederatedTrainer:
             teacher, self.mask_builder, lambda0=self.config.lambda0,
             lt=self.config.lt, dynamic=self.config.dynamic_lambda,
         )
+
+    # ------------------------------------------------------------------
+    # lazy-client substrate (shards + arena)
+    # ------------------------------------------------------------------
+    def _materialize_client(self, index: int) -> FederatedClient:
+        """Build a fresh live client hydrated from shard ``index``.
+
+        This is the :class:`~repro.federated.arena.LazyClientList` read
+        path: inspection-style consumers get exactly the state an eager
+        trainer's live client would hold (current parameters — the
+        factory's pristine ones while ``params_flat`` is None — plus
+        the latest session snapshot).  Writes to the returned object do
+        not propagate back to the shard.
+        """
+        shard = self.shards[index]
+        client = FederatedClient(
+            client_id=shard.client_id, data=shard.data,
+            model=self.model_factory(), mask_builder=self.mask_builder,
+            training=self.config.training,
+            rng=np.random.default_rng(0),  # replaced by the session restore
+        )
+        if shard.params_flat is not None:
+            client.receive_global_flat(shard.params_flat)
+        client.load_session_state(shard.session)
+        return client
+
+    def _session_snapshot(self, client_id: int):
+        """The client's current pre-round session (shard or live)."""
+        if self.lazy:
+            return self.shards[client_id].session
+        return self.clients[client_id].session_state()
+
+    def _adopt_result(self, result) -> None:
+        """Store a round result's trained state back into the client
+        substrate — the live client in eager mode, the shard in lazy
+        mode.  Runs even when the upload is later rejected: the client
+        trained fine, only its wire payload is bad."""
+        if not self.lazy:
+            if result.session is not None:
+                # The round ran elsewhere (a worker / the arena): adopt
+                # its trained state so the live clients stay
+                # interchangeable with serial runs.
+                self.clients[result.client_id].apply_round_result(
+                    result.upload_flat, result.session, result.params_flat)
+            return
+        if result.session is None:
+            raise ValueError(
+                "lazy client mode needs state-shipping round results, but "
+                "the runner returned session=None (inject a runner with "
+                "ships_state=True, or run eager clients)")
+        shard = self.shards[result.client_id]
+        shard.session = result.session
+        # Mirrors FederatedClient.apply_round_result: the exact float64
+        # snapshot when the exchange dtype is reduced, else the upload
+        # itself (already exact float64 in that case).
+        exact = (result.upload_flat if result.params_flat is None
+                 else result.params_flat)
+        shard.params_flat = np.asarray(exact, dtype=np.float64)
 
     # ------------------------------------------------------------------
     # the full pipeline
@@ -502,7 +657,7 @@ class FederatedTrainer:
     # internals
     # ------------------------------------------------------------------
     def _train_teacher(self) -> TeacherTrainingResult:
-        splits = [(c.data.train, c.data.valid) for c in self.clients]
+        splits = [(data.train, data.valid) for data in self._client_data]
         teacher_config = TeacherConfig(
             lt=self.config.lt,
             epochs_per_client=self.config.teacher.epochs_per_client,
@@ -536,13 +691,22 @@ class FederatedTrainer:
                      distiller: MetaKnowledgeDistiller | None,
                      round_index: int, ship_sessions: bool,
                      defer_stragglers: bool = False) -> list[RoundTask]:
+        # When the active runner's WorkerSetup already carries the
+        # frozen teacher, tasks ship the use_setup_teacher sentinel
+        # instead of a per-task (P,) teacher copy — one pickle per
+        # worker, not one per task.  (SerialRunner ignores both and
+        # uses the live distiller argument.)
+        use_setup = distiller is not None and self._setup_has_teacher
         return [
             RoundTask(
                 client_id=client_id,
                 global_flat=wire,
                 epochs=self.config.local_epochs,
-                teacher_flat=self._teacher_flat if distiller is not None else None,
-                session=(self.clients[client_id].session_state()
+                teacher_flat=(self._teacher_flat
+                              if distiller is not None and not use_setup
+                              else None),
+                use_setup_teacher=use_setup,
+                session=(self._session_snapshot(client_id)
                          if ship_sessions else None),
                 fused_kernels=nn.fused_kernels_enabled(),
                 sparse_masks=nn.sparse_masks_enabled(),
@@ -610,47 +774,64 @@ class FederatedTrainer:
                                                         distiller)
 
         failures = list(execution.failures)
-        uploaded: list[np.ndarray] = []
+        results = execution.results  # task (= ascending client-id) order
         upload_bytes: list[int] = []
         weights: list[float] = []
         losses: list[float] = []
         lambdas: list[float] = []
         completed: list[int] = []
         exchange_dtype = nn.get_default_dtype()
-        for result in execution.results:  # task (= ascending client-id) order
-            if result.session is not None:
-                # The round ran in a worker: adopt its trained state so
-                # the live clients stay interchangeable with serial runs.
-                # This happens even when the upload is rejected below —
-                # the client trained fine, only its wire payload is bad.
-                self.clients[result.client_id].apply_round_result(
-                    result.upload_flat, result.session, result.params_flat
-                )
-            flat = result.upload_flat
-            rejection = self.server.validate_upload(
-                flat, self.config.max_upload_norm)
+        # Stage uploads into the preallocated slab: each screened
+        # payload is cast into one float64 row, so finiteness/norm
+        # validation and the FedAvg reduction run over a single
+        # contiguous (C, P) matrix — bitwise the stack-of-vectors path,
+        # without C boxed float64 copies.  Trained state is adopted
+        # even when the upload is rejected below — the client trained
+        # fine, only its wire payload is bad.
+        rows = self._slab.rows(len(results))
+        staged = []  # results whose uploads occupy rows[:len(staged)]
+        for result in results:
+            self._adopt_result(result)
+            rejection = self.server.screen_upload(result.upload_flat)
             if rejection is not None:
                 failures.append(ClientFailure(result.client_id, "rejected", 1,
                                               rejection))
                 continue
+            rows[len(staged)] = result.upload_flat  # exact float64 cast
+            staged.append(result)
+        reasons = self.server.validate_rows(rows[:len(staged)],
+                                            self.config.max_upload_norm)
+        kept = 0
+        for row, (result, reason) in enumerate(zip(staged, reasons)):
+            if reason is not None:
+                failures.append(ClientFailure(result.client_id, "rejected", 1,
+                                              reason))
+                continue
             if self.privatizer is not None:
-                flat = self.privatizer.privatize_update_flat(flat, reference)
+                # Privatise from the original upload object — identical
+                # RNG stream and dtype path to the per-vector era —
+                # then overwrite the (compacted) slab row.
+                flat = self.privatizer.privatize_update_flat(
+                    result.upload_flat, reference)
                 if self.codec.is_identity:
                     flat = np.asarray(flat, dtype=exchange_dtype)
-            uploaded.append(flat)
+                rows[kept] = flat
+            elif kept != row:
+                rows[kept] = rows[row]  # compact over rejected rows
             upload_bytes.append(self._upload_bytes(result))
             completed.append(result.client_id)
             weights.append(result.metrics["num_examples"])
             losses.append(result.metrics["loss"])
             lambdas.append(result.metrics["lambda"])
+            kept += 1
         failures.sort(key=lambda failure: failure.client_id)
 
-        aggregated = len(uploaded) >= self.config.min_clients_per_round
+        aggregated = kept >= self.config.min_clients_per_round
         if aggregated:
             agg_weights = weights if self.config.aggregation == "fedavg" else None
             # FedAvg weights renormalise over the survivors automatically
             # (np.average divides by the surviving weight mass).
-            self.server.aggregate_flat(uploaded, agg_weights)
+            self.server.aggregate_rows(rows[:kept], agg_weights)
             accuracy = model_segment_accuracy(
                 self.server.global_model, self.mask_builder, self.global_test
             )
@@ -665,8 +846,9 @@ class FederatedTrainer:
             mean_loss = 0.0
             mean_lambda = 0.0
         # Every selected client received the broadcast, even the ones
-        # that failed to upload.
-        ledger.record_round(round_index, wire, uploaded,
+        # that failed to upload.  (upload_bytes already carries the
+        # measured wire sizes; the staged vectors need not be passed.)
+        ledger.record_round(round_index, wire, [],
                             num_broadcast=len(selected),
                             broadcast_bytes=bytes_down,
                             upload_bytes=upload_bytes)
@@ -691,7 +873,7 @@ class FederatedTrainer:
         """Apply the buffered uploads to the global model; returns the
         flushed uploads' staleness values."""
         state = self._async
-        entries, state.buffer = state.buffer, []
+        entries = state.take_buffer()
         staleness = [state.version - upload.version for upload in entries]
         weights = staleness_weights([u.base_weight for u in entries],
                                     staleness, self.config.staleness_alpha)
@@ -703,7 +885,13 @@ class FederatedTrainer:
             agg_weights = None
         else:
             agg_weights = [float(w) for w in weights]
-        self.server.aggregate_flat([u.vector for u in entries], agg_weights)
+        # The buffered float64 vectors were validated at dispatch; the
+        # flush stages them into the slab so the reduction runs over
+        # one contiguous matrix (bitwise the stacked-list path).
+        rows = self._slab.rows(len(entries))
+        for i, upload in enumerate(entries):
+            rows[i] = upload.vector
+        self.server.aggregate_rows(rows[:len(entries)], agg_weights)
         state.version += 1
         return staleness
 
@@ -746,9 +934,7 @@ class FederatedTrainer:
         # change in flight — so buffered vectors are aggregation-ready.
         failures = list(execution.failures)
         for result in execution.results:
-            if result.session is not None:
-                self.clients[result.client_id].apply_round_result(
-                    result.upload_flat, result.session, result.params_flat)
+            self._adopt_result(result)
             upload = np.asarray(result.upload_flat, dtype=np.float64)
             rejection = self.server.validate_upload(
                 upload, config.max_upload_norm)
@@ -859,7 +1045,11 @@ def train_isolated_then_average(model_factory: Callable[[], RecoveryModel],
     total_epochs = config.rounds * config.local_epochs
     flats, losses = [], []
     upload_bytes: list[int] = []
-    for client in trainer.clients:
+    for i in range(len(trainer.clients)):
+        # Lazy mode: indexing materialises one live client at a time
+        # from its shard; the trained state is written back below so
+        # result.clients reflects the training.
+        client = trainer.clients[i]
         epoch_losses = client.trainer.train_epochs(client.data.train,
                                                    epochs=total_epochs)
         if codec.is_identity:
@@ -872,6 +1062,10 @@ def train_isolated_then_average(model_factory: Callable[[], RecoveryModel],
             flats.append(decoded)
             upload_bytes.append(payload_num_bytes(payload))
         losses.append(float(np.mean(epoch_losses)))
+        if trainer.lazy:
+            shard = trainer.shards[i]
+            shard.session = client.session_state()
+            shard.params_flat = client.flat_parameters(dtype=np.float64)
     trainer.server.aggregate_flat(flats)
     ledger = CommunicationLedger()
     # One exchange at the end: every client ships its model to the others.

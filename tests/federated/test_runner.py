@@ -187,6 +187,7 @@ class TestFallback:
         serial, _ = run_trainer(federation, mask, tiny_config, rounds=1)
         assert serial.history == result.history
 
+    @pytest.mark.eager_clients
     def test_serial_runner_errors_propagate(self, federation, mask,
                                             tiny_config):
         """Serial execution errors are real errors, not fallback fodder."""
@@ -222,7 +223,11 @@ class TestRunnerUnits:
         clients, global_test = federation
         trainer = FederatedTrainer(lte_factory(tiny_config), clients, mask,
                                    fed_config(), global_test, seed=0)
-        assert isinstance(trainer._get_runner(), SerialRunner)
+        # In-process execution is the workers=0 default either way; the
+        # lazy-clients leg routes it through the arena.
+        from repro.federated import ArenaRunner
+        expected = ArenaRunner if trainer.lazy else SerialRunner
+        assert isinstance(trainer._get_runner(), expected)
 
     @needs_fork
     def test_workers_capped_at_client_count(self, federation, mask,
